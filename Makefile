@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench report report-full fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/local/ ./internal/baseline/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The evaluation tables of EXPERIMENTS.md (standard scale, a few minutes).
+report:
+	$(GO) run ./cmd/deltabench -scale standard
+
+# Adds the paper-exact Δ=126 instances and large-n points (much longer).
+report-full:
+	$(GO) run ./cmd/deltabench -scale full
+
+fuzz:
+	$(GO) test -fuzz FuzzNewGraph -fuzztime 30s .
+	$(GO) test -fuzz FuzzVerify -fuzztime 30s .
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,163 @@
+package deltacoloring
+
+// One testing.B benchmark per experiment of EXPERIMENTS.md. Each benchmark
+// runs its experiment at Quick scale (use cmd/deltabench for the full
+// report) and reports the headline figure as a custom metric alongside the
+// usual time/allocs, so `go test -bench=. -benchmem` regenerates the
+// evaluation's data points.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"deltacoloring/internal/bench"
+)
+
+func runExperiment(b *testing.B, fn func(bench.Scale) (*bench.Table, error)) *bench.Table {
+	b.Helper()
+	var tab *bench.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = fn(bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// lastRowFloat extracts a numeric cell from the last row for metric
+// reporting (0 when unparsable).
+func lastRowFloat(tab *bench.Table, col int) float64 {
+	if len(tab.Rows) == 0 {
+		return 0
+	}
+	row := tab.Rows[len(tab.Rows)-1]
+	if col >= len(row) {
+		return 0
+	}
+	f, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}
+
+func BenchmarkE1DeterministicRounds(b *testing.B) {
+	tab := runExperiment(b, bench.E1)
+	b.ReportMetric(lastRowFloat(tab, 2), "rounds")
+	b.ReportMetric(lastRowFloat(tab, 7), "rounds/log2n")
+}
+
+func BenchmarkE2RoundsVsDelta(b *testing.B) {
+	tab := runExperiment(b, bench.E2)
+	b.ReportMetric(lastRowFloat(tab, 2), "rounds")
+}
+
+func BenchmarkE3RandomizedRounds(b *testing.B) {
+	tab := runExperiment(b, bench.E3)
+	b.ReportMetric(lastRowFloat(tab, 2), "rounds")
+	b.ReportMetric(lastRowFloat(tab, 5), "maxcomponent")
+}
+
+func BenchmarkE4Validity(b *testing.B) {
+	tab := runExperiment(b, bench.E4)
+	b.ReportMetric(float64(len(tab.Rows)), "cases")
+}
+
+func BenchmarkE5HEG(b *testing.B) {
+	tab := runExperiment(b, bench.E5)
+	b.ReportMetric(lastRowFloat(tab, 5), "proposalrounds")
+}
+
+func BenchmarkE6Splitting(b *testing.B) {
+	tab := runExperiment(b, bench.E6)
+	b.ReportMetric(lastRowFloat(tab, 4), "worstdev")
+}
+
+func BenchmarkE7Triads(b *testing.B) {
+	tab := runExperiment(b, bench.E7)
+	b.ReportMetric(lastRowFloat(tab, 4), "gvmaxdeg")
+}
+
+func BenchmarkE8Balance(b *testing.B) {
+	tab := runExperiment(b, bench.E8)
+	b.ReportMetric(lastRowFloat(tab, 6), "f3perclique")
+}
+
+func BenchmarkE9AblationNoHEG(b *testing.B) {
+	tab := runExperiment(b, bench.E9)
+	b.ReportMetric(lastRowFloat(tab, 2), "starvedraw")
+	b.ReportMetric(lastRowFloat(tab, 3), "starvedheg")
+}
+
+func BenchmarkE10SlackGeneration(b *testing.B) {
+	tab := runExperiment(b, bench.E10)
+	b.ReportMetric(lastRowFloat(tab, 3), "slackfraction")
+}
+
+func BenchmarkE11Landscape(b *testing.B) {
+	tab := runExperiment(b, bench.E11)
+	b.ReportMetric(lastRowFloat(tab, 1), "deltaplus1rounds")
+	b.ReportMetric(lastRowFloat(tab, 2), "deltarounds")
+}
+
+func BenchmarkE12Loopholes(b *testing.B) {
+	tab := runExperiment(b, bench.E12)
+	b.ReportMetric(lastRowFloat(tab, 2), "layers")
+}
+
+func BenchmarkE14LogStar(b *testing.B) {
+	tab := runExperiment(b, bench.LogStarDemo)
+	b.ReportMetric(lastRowFloat(tab, 1), "rounds")
+}
+
+// Direct micro-benchmarks of the two colorers on the flagship instance,
+// for time/alloc tracking independent of the experiment harness.
+func BenchmarkDeterministicM16(b *testing.B) {
+	g := GenHardCliqueBipartite(16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Deterministic(g, ScaledParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Rounds), "rounds")
+		}
+	}
+}
+
+func BenchmarkRandomizedM16(b *testing.B) {
+	g := GenHardCliqueBipartite(16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Randomized(g, ScaledRandomizedParams(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Rounds), "rounds")
+		}
+	}
+}
+
+// Scaling benchmark: one size per sub-benchmark so `-bench Deterministic`
+// prints a rounds-vs-n series directly.
+func BenchmarkDeterministicScaling(b *testing.B) {
+	for _, m := range []int{16, 32, 64} {
+		g := GenHardCliqueBipartite(m, 16)
+		b.Run(fmt.Sprintf("n=%d", g.N()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Deterministic(g, ScaledParams())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Rounds), "rounds")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+// Command deltabench runs the evaluation suite (experiments E1-E16 of
+// EXPERIMENTS.md) and prints one table per experiment.
+//
+// Usage:
+//
+//	deltabench [-scale quick|standard|full] [-only E1,E5,...]
+//
+// Standard scale finishes in a few minutes; full scale adds the paper-exact
+// Δ=126 instances and large n points and can take considerably longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"deltacoloring/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "deltabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("deltabench", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "standard", "experiment scale: quick, standard, or full")
+	onlyFlag := fs.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.Quick
+	case "standard":
+		scale = bench.Standard
+	case "full":
+		scale = bench.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+	only := map[string]bool{}
+	if *onlyFlag != "" {
+		for _, id := range strings.Split(*onlyFlag, ",") {
+			only[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	runners := []struct {
+		id string
+		fn func(bench.Scale) (*bench.Table, error)
+	}{
+		{"E1", bench.E1}, {"E2", bench.E2}, {"E3", bench.E3}, {"E4", bench.E4},
+		{"E5", bench.E5}, {"E6", bench.E6}, {"E7", bench.E7}, {"E8", bench.E8},
+		{"E9", bench.E9}, {"E10", bench.E10}, {"E11", bench.E11}, {"E12", bench.E12},
+		{"E13", bench.EDelta63}, {"E14", bench.LogStarDemo}, {"E15", bench.E15},
+		{"E16", bench.E16},
+	}
+	for _, r := range runners {
+		if len(only) > 0 && !only[r.id] {
+			continue
+		}
+		start := time.Now()
+		tab, err := r.fn(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.id, err)
+		}
+		if _, err := tab.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(%s finished in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package deltacoloring is the public API of this repository: distributed
+// Δ-coloring of dense graphs in the LOCAL model, implementing
+//
+//	Manuel Jakob, Yannic Maus. "Towards Optimal Distributed Delta
+//	Coloring." PODC 2025 (brief announcement).
+//
+// The package wraps the internal algorithm stack (almost-clique
+// decomposition, slack triads, hyperedge grabbing, degree splitting,
+// loophole machinery) behind three entry points:
+//
+//   - Deterministic: Theorem 1's min{Õ(log^{5/3} n), O(Δ + log n)}-round
+//     deterministic algorithm (O(log n) at constant Δ).
+//   - Randomized: Theorem 2's shattering-based algorithm
+//     (O(Δ + log log n) rounds).
+//   - Verify: checks a proper complete Δ-coloring.
+//
+// Both colorers require a *dense* graph (Definition 4: the almost-clique
+// decomposition has no sparse vertices) without a (Δ+1)-clique; they return
+// ErrNotDense / ErrBrooks otherwise. Every lemma-level invariant of the
+// paper is verified during a run, so a returned coloring is machine-checked
+// end to end.
+//
+// Use the Gen* constructors for the dense graph families studied in the
+// evaluation, or NewGraph for custom inputs.
+package deltacoloring
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/core"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// Graph is an immutable undirected simple graph.
+type Graph = graph.Graph
+
+// Params configures the pipeline; see DefaultParams and ScaledParams.
+type Params = core.Params
+
+// RandomizedParams configures the randomized algorithm.
+type RandomizedParams = core.RandomizedParams
+
+// Stats reports structural measurements of a run.
+type Stats = core.Stats
+
+// RandStats reports shattering measurements of a randomized run.
+type RandStats = core.RandStats
+
+// Span is a named round-accounting segment.
+type Span = local.Span
+
+// Sentinel errors.
+var (
+	// ErrNotDense marks inputs outside the paper's dense-graph class.
+	ErrNotDense = core.ErrNotDense
+	// ErrBrooks marks the Brooks exception: a (Δ+1)-clique exists.
+	ErrBrooks = core.ErrBrooks
+)
+
+// DefaultParams returns the paper's exact parameterization (ε = 1/63,
+// 28 sub-cliques, 4-way splitting). Its constant arithmetic requires
+// Δ ⪆ 85; see ScaledParams for smaller degrees.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// ScaledParams returns a scaled-down parameterization usable from Δ ≈ 16,
+// with all invariants still verified at runtime (see DESIGN.md, "parameter
+// presets").
+func ScaledParams() Params { return core.TestParams() }
+
+// DefaultRandomizedParams returns the paper parameterization of Theorem 2.
+func DefaultRandomizedParams() RandomizedParams { return core.DefaultRandomizedParams() }
+
+// ScaledRandomizedParams returns the scaled-down randomized preset.
+func ScaledRandomizedParams() RandomizedParams { return core.TestRandomizedParams() }
+
+// Result is the outcome of a coloring run.
+type Result struct {
+	// Colors assigns each vertex a color in [0, Δ).
+	Colors []int
+	// Rounds is the total number of LOCAL rounds charged.
+	Rounds int
+	// Spans breaks the rounds down by phase.
+	Spans []Span
+	// Stats carries structural measurements.
+	Stats Stats
+}
+
+// RandomizedResult extends Result with shattering statistics.
+type RandomizedResult struct {
+	Result
+	Rand RandStats
+}
+
+// NewGraph builds a graph on n vertices from an edge list.
+func NewGraph(n int, edges [][2]int) (*Graph, error) {
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Deterministic runs Theorem 1's algorithm with the given parameters.
+func Deterministic(g *Graph, p Params) (*Result, error) {
+	net := local.New(g)
+	res, err := core.ColorDeterministic(net, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Colors: res.Coloring.Colors,
+		Rounds: res.Rounds,
+		Spans:  res.Spans,
+		Stats:  res.Stats,
+	}, nil
+}
+
+// Randomized runs Theorem 2's algorithm with the given parameters and seed.
+func Randomized(g *Graph, p RandomizedParams, seed int64) (*RandomizedResult, error) {
+	net := local.New(g)
+	res, err := core.ColorRandomized(net, p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &RandomizedResult{
+		Result: Result{
+			Colors: res.Coloring.Colors,
+			Rounds: res.Rounds,
+			Spans:  res.Spans,
+			Stats:  res.Stats,
+		},
+		Rand: res.Rand,
+	}, nil
+}
+
+// Verify checks that colors is a complete proper coloring of g with colors
+// in [0, Δ).
+func Verify(g *Graph, colors []int) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("deltacoloring: %d colors for %d vertices", len(colors), g.N())
+	}
+	c := coloring.NewPartial(g.N())
+	copy(c.Colors, colors)
+	return coloring.VerifyComplete(g, c, g.MaxDegree())
+}
+
+// GenHardCliqueBipartite builds the adversarial dense family where every
+// almost clique is hard: 2m cliques of size delta joined by a bipartite,
+// triangle-free perfect-matching super-graph (n = 2·m·delta, requires
+// m >= delta >= 2).
+func GenHardCliqueBipartite(m, delta int) *Graph {
+	g, _ := graph.HardCliqueBipartite(m, delta)
+	return g
+}
+
+// GenEasyCliqueRing builds a ring of k cliques of size delta joined by
+// parallel matchings; every clique contains 4-cycle loopholes (requires
+// k >= 4, even delta >= 4).
+func GenEasyCliqueRing(k, delta int) *Graph {
+	g, _ := graph.EasyCliqueRing(k, delta)
+	return g
+}
+
+// GenHardWithEasyPatch builds the hard family with a rewired corner that
+// turns four cliques easy, mixing both pipeline paths (requires m >= 4,
+// delta >= 3).
+func GenHardWithEasyPatch(m, delta int) *Graph {
+	g, _ := graph.HardWithEasyPatch(m, delta)
+	return g
+}
+
+// WriteDOT renders g in Graphviz DOT format, filling vertices by the given
+// colors (pass nil for an uncolored rendering). Pipe through `dot -Tsvg`
+// to visualize small instances.
+func WriteDOT(w io.Writer, g *Graph, colors []int) error {
+	return graph.WriteDOT(w, g, colors, nil)
+}

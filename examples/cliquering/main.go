@@ -1,0 +1,53 @@
+// Cliquering: Δ-color a ring of cliques that is full of loopholes (easy
+// almost cliques), the case handled by Algorithm 3's ruling-set + layering
+// machinery, and contrast it with a mixed hard/easy instance where both
+// pipelines run in one execution.
+//
+//	go run ./examples/cliquering
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deltacoloring"
+)
+
+func main() {
+	// A ring of 16 cliques of size 16; adjacent cliques share parallel
+	// matching edges, creating non-clique 4-cycles (loopholes) everywhere.
+	ring := deltacoloring.GenEasyCliqueRing(16, 16)
+	fmt.Printf("easy ring: n=%d, m=%d, Δ=%d\n", ring.N(), ring.M(), ring.MaxDegree())
+
+	res, err := deltacoloring.Deterministic(ring, deltacoloring.ScaledParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := deltacoloring.Verify(ring, res.Colors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("colored in %d rounds; all %d cliques easy; BFS layering used %d of %d allowed layers\n",
+		res.Rounds, res.Stats.EasyCliques, res.Stats.Layers, deltacoloring.ScaledParams().Layers)
+
+	// The mixed instance: the hard family with one rewired corner that
+	// turns four cliques easy. Algorithm 2 colors the 28 hard cliques via
+	// slack triads; Algorithm 3 finishes the 4 easy ones.
+	mixed := deltacoloring.GenHardWithEasyPatch(16, 16)
+	mres, err := deltacoloring.Deterministic(mixed, deltacoloring.ScaledParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := deltacoloring.Verify(mixed, mres.Colors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mixed instance: %d hard + %d easy cliques, %d triads, colored in %d rounds\n",
+		mres.Stats.HardCliques, mres.Stats.EasyCliques, mres.Stats.Triads, mres.Rounds)
+
+	// Color histogram of the ring: with Δ colors on Δ-sized cliques the
+	// palette is used almost uniformly.
+	hist := make([]int, ring.MaxDegree())
+	for _, c := range res.Colors {
+		hist[c]++
+	}
+	fmt.Printf("ring color usage histogram: %v\n", hist)
+}

@@ -1,0 +1,41 @@
+// Randomized: run Theorem 2's shattering-based Δ-coloring across several
+// seeds and report how the random T-node placement shatters the graph into
+// small components that the deterministic machinery then finishes off.
+//
+//	go run ./examples/randomized
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deltacoloring"
+)
+
+func main() {
+	g := deltacoloring.GenHardCliqueBipartite(32, 16)
+	fmt.Printf("input: n=%d, m=%d, Δ=%d (64 hard cliques)\n", g.N(), g.M(), g.MaxDegree())
+	fmt.Println()
+	fmt.Println("seed  rounds  T-kept  components  max-comp  comp-rounds")
+
+	p := deltacoloring.ScaledRandomizedParams()
+	sumMax := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := deltacoloring.Randomized(g, p, seed)
+		if err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := deltacoloring.Verify(g, res.Colors); err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		fmt.Printf("%4d  %6d  %6d  %10d  %8d  %11d\n",
+			seed, res.Rounds, res.Rand.TNodesKept, res.Rand.Components,
+			res.Rand.MaxComponent, res.Rand.ComponentRounds)
+		sumMax += res.Rand.MaxComponent
+	}
+	fmt.Println()
+	fmt.Printf("average largest component: %.1f of %d vertices — the shattering that buys the\n",
+		float64(sumMax)/5, g.N())
+	fmt.Println("exponential speedup: the deterministic algorithm only ever runs on these")
+	fmt.Println("poly(Δ)·log n sized pieces (in parallel), so its Θ(log n) becomes Θ(log log n).")
+}

@@ -1,0 +1,30 @@
+// Visualize: Δ-color a small mixed instance and emit Graphviz DOT of the
+// colored graph to stdout. Render with:
+//
+//	go run ./examples/visualize | dot -Tsvg > colored.svg
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"deltacoloring"
+)
+
+func main() {
+	// Small enough to render: a ring of 4 cliques of size 16 (n = 64).
+	g := deltacoloring.GenEasyCliqueRing(4, 16)
+	res, err := deltacoloring.Deterministic(g, deltacoloring.ScaledParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := deltacoloring.Verify(g, res.Colors); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "colored n=%d with Δ=%d colors in %d rounds; DOT on stdout\n",
+		g.N(), g.MaxDegree(), res.Rounds)
+	if err := deltacoloring.WriteDOT(os.Stdout, g, res.Colors); err != nil {
+		log.Fatal(err)
+	}
+}

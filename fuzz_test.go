@@ -1,0 +1,79 @@
+package deltacoloring
+
+// Native fuzz targets for the public-facing input paths. The seed corpora
+// double as regression tests under plain `go test`; run with
+// `go test -fuzz FuzzNewGraph` etc. for continuous fuzzing.
+
+import (
+	"testing"
+)
+
+// FuzzNewGraph feeds arbitrary edge bytes into the graph builder: it must
+// either reject the input or produce a graph whose invariants validate.
+func FuzzNewGraph(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint8(2), []byte{0, 0})
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(9), []byte{7, 8, 8, 7, 1, 5})
+	f.Fuzz(func(t *testing.T, n uint8, raw []byte) {
+		edges := make([][2]int, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, [2]int{int(raw[i]), int(raw[i+1])})
+		}
+		g, err := NewGraph(int(n), edges)
+		if err != nil {
+			return // invalid inputs must be rejected, not panic
+		}
+		if g.N() != int(n) {
+			t.Fatalf("n = %d, want %d", g.N(), n)
+		}
+		// Structural invariants.
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Neighbors(v) {
+				if w == v {
+					t.Fatal("self-loop survived")
+				}
+				if !g.HasEdge(w, v) {
+					t.Fatal("asymmetric edge")
+				}
+			}
+		}
+	})
+}
+
+// FuzzVerify ensures the verifier never panics and never accepts a
+// coloring with a monochromatic edge.
+func FuzzVerify(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		g, err := NewGraph(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := make([]int, len(raw))
+		for i, b := range raw {
+			colors[i] = int(b%5) - 1 // include out-of-range and -1
+		}
+		err = Verify(g, colors)
+		if err != nil {
+			return
+		}
+		// Accepted: must be a genuine proper complete 2-coloring... at
+		// least proper and in range.
+		if len(colors) != 4 {
+			t.Fatal("accepted wrong length")
+		}
+		for _, e := range g.Edges() {
+			if colors[e.U] == colors[e.V] {
+				t.Fatal("accepted monochromatic edge")
+			}
+		}
+		for _, c := range colors {
+			if c < 0 || c >= g.MaxDegree() {
+				t.Fatal("accepted out-of-range color")
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module deltacoloring
+
+go 1.22

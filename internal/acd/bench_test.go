@@ -1,0 +1,19 @@
+package acd
+
+import (
+	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func BenchmarkCompute(b *testing.B) {
+	g, _ := graph.HardCliqueBipartite(32, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(local.New(g), 1.0/16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package baseline implements the comparison algorithms the evaluation
+// measures the paper's contribution against:
+//
+//   - Brooks: a sequential (centralized) Δ-coloring via the constructive
+//     proof of Brooks' theorem — ground truth for feasibility.
+//   - TrialColoring: the classic one-round random color trial from the
+//     introduction, used both as a Δ+1-coloring baseline and to measure
+//     permanent-slack generation on sparse vs dense graphs (E10).
+//   - DeltaPlusOne: deterministic distributed Δ+1-coloring (Linial), the
+//     greedy-regime yardstick of Figure 1 (Θ(log* n) on constant degree).
+//   - LoopholeLayered: a stand-in for the prior deterministic approach that
+//     colors outward from loopholes only [PS95, GHKM21]; it gets stuck on
+//     hard dense graphs, which is precisely the gap Algorithm 2 closes (E9,
+//     E11).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"deltacoloring/internal/acd"
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/linial"
+	"deltacoloring/internal/listcolor"
+	"deltacoloring/internal/local"
+	"deltacoloring/internal/loophole"
+)
+
+// ErrStuck is returned by distributed baselines that cannot make progress.
+var ErrStuck = errors.New("baseline: stuck with uncolored vertices")
+
+// Brooks computes a Δ-coloring sequentially, following the constructive
+// proof of Brooks' theorem. It fails exactly on the theorem's exceptions
+// (components that are (Δ+1)-cliques, or odd cycles when Δ = 2) and on the
+// rare non-2-connected regular configurations the simple construction does
+// not cover (reported as an error, never a bad coloring).
+func Brooks(g *graph.Graph) (*coloring.Partial, error) {
+	delta := g.MaxDegree()
+	if delta == 0 {
+		if g.N() == 0 {
+			return coloring.NewPartial(0), nil
+		}
+		return nil, fmt.Errorf("baseline: Δ=0 graph not colorable with 0 colors")
+	}
+	c := coloring.NewPartial(g.N())
+	for _, comp := range g.ConnectedComponents() {
+		if err := brooksComponent(g, c, comp, delta); err != nil {
+			return nil, err
+		}
+	}
+	if err := coloring.VerifyComplete(g, c, delta); err != nil {
+		return nil, fmt.Errorf("baseline: internal error: %w", err)
+	}
+	return c, nil
+}
+
+func brooksComponent(g *graph.Graph, c *coloring.Partial, comp []int, delta int) error {
+	// Case 1: some vertex has degree < Δ: color a BFS tree from it in
+	// reverse order; every vertex keeps an uncolored neighbor (its parent)
+	// until its own turn.
+	for _, v := range comp {
+		if g.Degree(v) < delta {
+			return colorTreeFrom(g, c, comp, v, delta)
+		}
+	}
+	// Δ-regular component. K_{Δ+1} and odd cycles are the exceptions.
+	if len(comp) == delta+1 && g.IsClique(comp) {
+		return fmt.Errorf("baseline: component is K_%d: Brooks exception", delta+1)
+	}
+	if delta == 2 {
+		// The component is a cycle: 2-color it alternately if even.
+		if len(comp)%2 == 1 {
+			return fmt.Errorf("baseline: odd cycle: Brooks exception")
+		}
+		v, col := comp[0], 0
+		prev := -1
+		for range comp {
+			c.Colors[v] = col
+			col = 1 - col
+			next := -1
+			for _, w := range g.Neighbors(v) {
+				if w != prev {
+					next = w
+					break
+				}
+			}
+			prev, v = v, next
+		}
+		return nil
+	}
+	// Case 2: find v with non-adjacent neighbors u, w whose removal keeps
+	// the component connected; same-color u and w, then tree-color from v.
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	for _, v := range comp {
+		nv := g.Neighbors(v)
+		for i := 0; i < len(nv); i++ {
+			for j := i + 1; j < len(nv); j++ {
+				u, w := nv[i], nv[j]
+				if g.HasEdge(u, w) {
+					continue
+				}
+				if !connectedWithout(g, comp, inComp, v, u, w) {
+					continue
+				}
+				c.Colors[u] = 0
+				c.Colors[w] = 0
+				rest := make([]int, 0, len(comp)-2)
+				for _, x := range comp {
+					if x != u && x != w {
+						rest = append(rest, x)
+					}
+				}
+				return colorTreeFrom(g, c, rest, v, delta)
+			}
+		}
+	}
+	return fmt.Errorf("baseline: no Brooks branching vertex found (non-2-connected regular case)")
+}
+
+// colorTreeFrom colors `sub` (which must induce a connected subgraph
+// containing root) greedily in reverse BFS order from root.
+func colorTreeFrom(g *graph.Graph, c *coloring.Partial, sub []int, root, delta int) error {
+	in := make(map[int]bool, len(sub))
+	for _, v := range sub {
+		in[v] = true
+	}
+	order := []int{root}
+	seen := map[int]bool{root: true}
+	for q := 0; q < len(order); q++ {
+		for _, w := range g.Neighbors(order[q]) {
+			if in[w] && !seen[w] {
+				seen[w] = true
+				order = append(order, w)
+			}
+		}
+	}
+	if len(order) != len(sub) {
+		return fmt.Errorf("baseline: BFS covered %d of %d vertices", len(order), len(sub))
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		p := coloring.Available(g, c, v, delta)
+		col := p.Min()
+		if col < 0 {
+			return fmt.Errorf("baseline: vertex %d has empty palette in tree coloring", v)
+		}
+		c.Colors[v] = col
+	}
+	return nil
+}
+
+// connectedWithout reports whether comp minus {u, w} stays connected and
+// still contains v.
+func connectedWithout(g *graph.Graph, comp []int, inComp map[int]bool, v, u, w int) bool {
+	if len(comp) <= 3 {
+		return true
+	}
+	seen := map[int]bool{v: true}
+	queue := []int{v}
+	for q := 0; q < len(queue); q++ {
+		for _, x := range g.Neighbors(queue[q]) {
+			if inComp[x] && x != u && x != w && !seen[x] {
+				seen[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	return len(seen) == len(comp)-2
+}
+
+// TrialResult reports one run of the iterated random color trial.
+type TrialResult struct {
+	// Colored is the number of permanently colored vertices.
+	Colored int
+	// Rounds is the number of trial rounds executed.
+	Rounds int
+	// Stuck reports whether progress stopped before completion.
+	Stuck bool
+}
+
+// TrialColoring runs the classic randomized color trial with the given
+// palette size k: every round, each uncolored vertex picks a uniformly
+// random color from its available palette and keeps it if no neighbor
+// picked the same color; vertices with empty palettes stay uncolored. With
+// k = Δ+1 this completes in O(log n) rounds w.h.p.; with k = Δ it gets
+// stuck on dense graphs — the introduction's motivation for slack triads.
+func TrialColoring(net *local.Network, c *coloring.Partial, k, maxRounds int, rng *rand.Rand) TrialResult {
+	g := net.Graph()
+	var res TrialResult
+	for round := 0; round < maxRounds; round++ {
+		type pick struct {
+			color int
+		}
+		picks := make([]pick, g.N())
+		anyPick := false
+		for v := 0; v < g.N(); v++ {
+			picks[v] = pick{color: coloring.None}
+			if c.Colored(v) {
+				continue
+			}
+			p := coloring.Available(g, c, v, k)
+			cols := p.Colors()
+			if len(cols) == 0 {
+				continue
+			}
+			picks[v] = pick{color: cols[rng.Intn(len(cols))]}
+			anyPick = true
+		}
+		if !anyPick {
+			res.Stuck = c.CountColored() < g.N()
+			break
+		}
+		net.Charge(1)
+		res.Rounds++
+		progress := false
+		for v := 0; v < g.N(); v++ {
+			if picks[v].color == coloring.None {
+				continue
+			}
+			ok := true
+			for _, w := range g.Neighbors(v) {
+				if picks[w].color == picks[v].color || c.Colors[w] == picks[v].color {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				c.Colors[v] = picks[v].color
+				progress = true
+			}
+		}
+		if !progress && round > 2*g.MaxDegree()+20 {
+			res.Stuck = true
+			break
+		}
+		if c.CountColored() == g.N() {
+			break
+		}
+	}
+	res.Colored = c.CountColored()
+	res.Stuck = res.Stuck || res.Colored < g.N()
+	return res
+}
+
+// findWitnesses returns loophole witnesses: on dense graphs it uses the
+// structured ACD classifier (near-linear); otherwise it falls back to the
+// exhaustive per-vertex search.
+func findWitnesses(net *local.Network, g *graph.Graph, delta int) []*loophole.Loophole {
+	if a, err := acd.Compute(net, 1.0/16); err == nil && a.IsDense() {
+		cl := loophole.Classify(g, a)
+		out := make([]*loophole.Loophole, 0, len(cl.Witness))
+		for ci, w := range cl.Witness {
+			if cl.Easy[ci] && w != nil {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	var out []*loophole.Loophole
+	for _, l := range loophole.FindAll(g, delta) {
+		if l != nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// PermanentSlack counts the vertices with two same-colored neighbors — the
+// "permanent slack" quantity of the introduction.
+func PermanentSlack(g *graph.Graph, c *coloring.Partial) int {
+	slack := 0
+	for v := 0; v < g.N(); v++ {
+		seen := map[int]bool{}
+		for _, w := range g.Neighbors(v) {
+			col := c.Colors[w]
+			if col == coloring.None {
+				continue
+			}
+			if seen[col] {
+				slack++
+				break
+			}
+			seen[col] = true
+		}
+	}
+	return slack
+}
+
+// DeltaPlusOne computes a deterministic distributed (Δ+1)-coloring — the
+// greedy-regime problem of Figure 1 — and returns it with the round count.
+func DeltaPlusOne(net *local.Network) (*coloring.Partial, error) {
+	g := net.Graph()
+	colors, err := linial.Color(net, g.MaxDegree()+1)
+	if err != nil {
+		return nil, err
+	}
+	c := coloring.NewPartial(g.N())
+	copy(c.Colors, colors)
+	return c, nil
+}
+
+// LoopholeLayered is the prior-approach stand-in: detect loopholes
+// (Definition 6), then color BFS layers around them inward and the
+// loopholes last. On graphs with loopholes everywhere this Δ-colors in
+// O(diameter-to-loophole) rounds; on hard dense graphs it returns ErrStuck
+// because no vertex has a loophole within reach — the situation that forces
+// the paper's slack-triad machinery.
+func LoopholeLayered(net *local.Network, maxLayers int) (*coloring.Partial, int, error) {
+	g := net.Graph()
+	delta := g.MaxDegree()
+	c := coloring.NewPartial(g.N())
+	witnesses := findWitnesses(net, g, delta)
+	net.Charge(3)
+	var anchors []*loophole.Loophole
+	used := make([]bool, g.N())
+	for _, l := range witnesses {
+		if l == nil {
+			continue
+		}
+		clash := false
+		for _, v := range l.Verts {
+			if used[v] {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			continue
+		}
+		// Also require a vertex gap to neighbors of other anchors so the
+		// brute-force completions stay independent.
+		for _, v := range l.Verts {
+			used[v] = true
+			for _, w := range g.Neighbors(v) {
+				used[w] = true
+			}
+		}
+		anchors = append(anchors, l)
+	}
+	if len(anchors) == 0 {
+		return nil, 0, fmt.Errorf("%w: no loopholes anywhere", ErrStuck)
+	}
+	// Layer and color inward.
+	layer := make([]int, g.N())
+	for v := range layer {
+		layer[v] = -1
+	}
+	var frontier []int
+	for _, l := range anchors {
+		for _, v := range l.Verts {
+			if layer[v] == -1 {
+				layer[v] = 0
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	maxLayer := 0
+	for depth := 1; depth <= maxLayers && len(frontier) > 0; depth++ {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if layer[w] == -1 {
+					layer[w] = depth
+					next = append(next, w)
+				}
+			}
+		}
+		if len(next) > 0 {
+			maxLayer = depth
+		}
+		frontier = next
+	}
+	for v := range layer {
+		if layer[v] == -1 {
+			return nil, 0, fmt.Errorf("%w: vertex %d beyond %d layers of every loophole", ErrStuck, v, maxLayers)
+		}
+	}
+	net.Charge(maxLayer)
+	// Color each layer with a genuine deg+1-list instance (same substrate
+	// and round accounting as Algorithm 3, so E12's comparison is fair).
+	for depth := maxLayer; depth >= 1; depth-- {
+		inst := listcolor.Instance{Active: make([]bool, g.N()), Lists: make([]coloring.Palette, g.N())}
+		any := false
+		for v := 0; v < g.N(); v++ {
+			if layer[v] == depth {
+				inst.Active[v] = true
+				inst.Lists[v] = coloring.Available(g, c, v, delta)
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		if err := listcolor.Solve(net, inst, c); err != nil {
+			return nil, 0, fmt.Errorf("%w: layer %d: %v", ErrStuck, depth, err)
+		}
+	}
+	net.Charge(4)
+	for _, l := range anchors {
+		if err := loophole.Complete(g, c, l, delta); err != nil {
+			return nil, 0, fmt.Errorf("baseline: %w", err)
+		}
+	}
+	if err := coloring.VerifyComplete(g, c, delta); err != nil {
+		return nil, 0, err
+	}
+	return c, maxLayer, nil
+}

@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// This file implements a randomized maximal matching in the explicit
+// message-passing engine (Israeli–Itai style): a second, independent
+// implementation of the Step-1 substrate used to cross-validate the
+// state-engine version in internal/matching and to exercise the Proc
+// engine in production code. Expected round complexity O(log n).
+//
+// The protocol runs in two-round cycles:
+//
+//	propose round (messages arrive at odd Steps): each free vertex flips a
+//	coin; heads = it proposed to a uniformly random neighbor it believes
+//	free. Tails = it is passive this cycle.
+//	answer round (messages arrive at even Steps): a passive free vertex
+//	accepts its smallest-ID proposer; the pair matches and both broadcast
+//	a matched notification. Unanswered proposals expire.
+type matchProc struct {
+	v     int
+	g     *graph.Graph
+	rng   *rand.Rand
+	done  bool
+	mate  int
+	alive map[int]bool // neighbors believed unmatched
+
+	proposedTo int // outstanding proposal awaiting an answer, or -1
+}
+
+// message kinds for the matching protocol.
+type (
+	msgPropose struct{}
+	msgAccept  struct{}
+	msgMatched struct{}
+)
+
+func (p *matchProc) Init(v int, net *local.Network) []local.Outgoing {
+	p.v = v
+	p.g = net.Graph()
+	p.mate = -1
+	p.proposedTo = -1
+	p.alive = make(map[int]bool, p.g.Degree(v))
+	for _, w := range p.g.Neighbors(v) {
+		p.alive[w] = true
+	}
+	return p.propose()
+}
+
+// propose flips the activity coin and sends at most one proposal.
+func (p *matchProc) propose() []local.Outgoing {
+	p.proposedTo = -1
+	if len(p.alive) == 0 {
+		return nil
+	}
+	if p.rng.Intn(2) == 0 {
+		return nil // passive this cycle
+	}
+	targets := make([]int, 0, len(p.alive))
+	for w := range p.alive {
+		targets = append(targets, w)
+	}
+	sort.Ints(targets)
+	p.proposedTo = targets[p.rng.Intn(len(targets))]
+	return []local.Outgoing{{To: p.proposedTo, Payload: msgPropose{}}}
+}
+
+func (p *matchProc) matchWith(w int) []local.Outgoing {
+	p.mate = w
+	p.done = true
+	outs := make([]local.Outgoing, 0, p.g.Degree(p.v))
+	for _, x := range p.g.Neighbors(p.v) {
+		if x != w {
+			outs = append(outs, local.Outgoing{To: x, Payload: msgMatched{}})
+		}
+	}
+	return outs
+}
+
+func (p *matchProc) Step(round int, inbox []local.Message) ([]local.Outgoing, bool) {
+	var outs []local.Outgoing
+	// Matched notifications can arrive in any round.
+	for _, m := range inbox {
+		if _, ok := m.Payload.(msgMatched); ok {
+			delete(p.alive, m.From)
+		}
+	}
+	if round%2 == 1 {
+		// Answer phase: passive free vertices accept the smallest-ID
+		// proposer (the inbox is sorted by sender).
+		if p.proposedTo == -1 && p.mate == -1 {
+			for _, m := range inbox {
+				if _, ok := m.Payload.(msgPropose); ok {
+					outs = append(outs, local.Outgoing{To: m.From, Payload: msgAccept{}})
+					outs = append(outs, p.matchWith(m.From)...)
+					break
+				}
+			}
+		}
+		// Proposers keep waiting; everyone stays alive one more round so
+		// accepts can be delivered.
+		return outs, false
+	}
+	// Resolve phase: check whether our proposal was accepted, then start
+	// the next cycle.
+	if p.mate == -1 && p.proposedTo != -1 {
+		for _, m := range inbox {
+			if _, ok := m.Payload.(msgAccept); ok && m.From == p.proposedTo {
+				return append(outs, p.matchWith(m.From)...), true
+			}
+		}
+	}
+	if p.mate != -1 {
+		return outs, true
+	}
+	if len(p.alive) == 0 {
+		return outs, true // every neighbor is matched: locally maximal
+	}
+	return append(outs, p.propose()...), false
+}
+
+// RandomizedMatchingProcs computes a maximal matching with the
+// message-passing engine. It is randomized (expected O(log n) rounds) and
+// serves as an independent cross-check of internal/matching.
+func RandomizedMatchingProcs(net *local.Network, rng *rand.Rand, maxRounds int) ([]graph.Edge, error) {
+	g := net.Graph()
+	procs := make([]local.Proc, g.N())
+	impls := make([]*matchProc, g.N())
+	for v := range procs {
+		impls[v] = &matchProc{rng: rand.New(rand.NewSource(rng.Int63()))}
+		procs[v] = impls[v]
+	}
+	if err := local.RunProcs(net, procs, maxRounds); err != nil {
+		return nil, fmt.Errorf("baseline: proc matching: %w", err)
+	}
+	var out []graph.Edge
+	for v, p := range impls {
+		if p.mate >= 0 && v < p.mate {
+			if impls[p.mate].mate != v {
+				return nil, fmt.Errorf("baseline: asymmetric match %d-%d", v, p.mate)
+			}
+			out = append(out, graph.Edge{U: v, V: p.mate})
+		}
+	}
+	return out, nil
+}

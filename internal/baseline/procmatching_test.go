@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+	"deltacoloring/internal/matching"
+)
+
+func TestRandomizedMatchingProcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"Cycle", graph.Cycle(21)},
+		{"Complete", graph.Complete(12)},
+		{"Torus", graph.Torus(6, 6)},
+		{"ER", graph.ErdosRenyi(80, 0.08, rng)},
+		{"Star", graph.Star(10)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			net := local.New(c.g)
+			m, err := RandomizedMatchingProcs(net, rng, 4000)
+			if err != nil {
+				t.Fatalf("RandomizedMatchingProcs: %v", err)
+			}
+			if err := matching.Verify(c.g, m, c.g.Edges()); err != nil {
+				t.Fatal(err)
+			}
+			if net.Messages() == 0 {
+				t.Fatal("no messages recorded by the proc engine")
+			}
+		})
+	}
+}
+
+// Cross-validation: the proc-engine matching and the state-engine matching
+// are both maximal matchings of the same graph (they may differ edge-wise,
+// but both must pass the same verifier, and their sizes are within the
+// standard 2x factor of each other).
+func TestProcMatchingCrossValidatesStateEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	g := graph.ErdosRenyi(120, 0.06, rng)
+	mState, err := matching.Maximal(local.New(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mProc, err := RandomizedMatchingProcs(local.New(g), rng, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range [][]graph.Edge{mState, mProc} {
+		if err := matching.Verify(g, m, g.Edges()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Any two maximal matchings are within a factor 2 in size.
+	a, b := len(mState), len(mProc)
+	if a > 2*b || b > 2*a {
+		t.Fatalf("maximal matchings differ too much: %d vs %d", a, b)
+	}
+}
+
+func TestProcMatchingRoundsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for _, n := range []int{64, 1024} {
+		g := graph.RandomRegular(n, 4, rng)
+		net := local.New(g)
+		if _, err := RandomizedMatchingProcs(net, rng, 4000); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if net.Rounds() > 400 {
+			t.Fatalf("n=%d took %d rounds", n, net.Rounds())
+		}
+	}
+}
+
+func TestProcMatchingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(50)
+		g := graph.ErdosRenyi(n, 0.15, rng)
+		m, err := RandomizedMatchingProcs(local.New(g), rng, 8000)
+		if err != nil {
+			return false
+		}
+		return matching.Verify(g, m, g.Edges()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package bench implements the evaluation harness: one runner per
+// experiment (E1–E16 in EXPERIMENTS.md), each producing a printable table.
+// The paper is theory-only, so the experiments validate its theorem- and
+// lemma-level claims empirically; DESIGN.md section 4 maps each experiment
+// to the claims and modules it covers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	// ID is the experiment identifier, e.g. "E1".
+	ID string
+	// Title states the claim under test.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the measurements, formatted.
+	Rows [][]string
+	// Notes carries caveats and interpretations printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch x := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// WriteTo renders the table as aligned plain text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	sb.WriteByte('\n')
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table (for tests and logs).
+func (t *Table) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		return fmt.Sprintf("table render error: %v", err)
+	}
+	return sb.String()
+}
+
+// Scale selects experiment sizes.
+type Scale int
+
+// Scales: Quick for unit tests and -short benches, Standard for the bench
+// suite, Full for the cmd/deltabench report (includes the paper-exact
+// Δ=126 points).
+const (
+	Quick Scale = iota
+	Standard
+	Full
+)
+
+// sizesE1 returns the m-sweep (cliques per side) for the hard family at
+// Δ=16 per scale.
+func (s Scale) sizesE1() []int {
+	switch s {
+	case Quick:
+		return []int{16, 32}
+	case Standard:
+		return []int{16, 32, 64, 128}
+	default:
+		return []int{16, 32, 64, 128, 256, 512}
+	}
+}
+
+func (s Scale) seeds() []int64 {
+	switch s {
+	case Quick:
+		return []int64{1}
+	case Standard:
+		return []int64{1, 2, 3}
+	default:
+		return []int64{1, 2, 3, 4, 5}
+	}
+}

@@ -1,0 +1,226 @@
+// Package coloring provides vertex-coloring primitives shared by every
+// algorithm in the repository: partial colorings, palettes (sets of
+// available colors), and verifiers for properness, completeness, and
+// list-compliance.
+//
+// Colors are 0-based integers; the Δ-coloring problem uses the color space
+// [0, Δ). The sentinel None (-1) marks an uncolored vertex.
+package coloring
+
+import (
+	"fmt"
+	"math/bits"
+
+	"deltacoloring/internal/graph"
+)
+
+// None marks an uncolored vertex.
+const None = -1
+
+// Partial is a partial vertex coloring: Colors[v] is the color of v or None.
+type Partial struct {
+	Colors []int
+}
+
+// NewPartial returns an all-uncolored partial coloring on n vertices.
+func NewPartial(n int) *Partial {
+	c := &Partial{Colors: make([]int, n)}
+	for v := range c.Colors {
+		c.Colors[v] = None
+	}
+	return c
+}
+
+// Colored reports whether v has a color.
+func (c *Partial) Colored(v int) bool { return c.Colors[v] != None }
+
+// CountColored returns the number of colored vertices.
+func (c *Partial) CountColored() int {
+	n := 0
+	for _, col := range c.Colors {
+		if col != None {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (c *Partial) Clone() *Partial {
+	out := &Partial{Colors: make([]int, len(c.Colors))}
+	copy(out.Colors, c.Colors)
+	return out
+}
+
+// VerifyProper checks that no edge of g is monochromatic (uncolored
+// endpoints are fine) and every used color lies in [0, numColors).
+func VerifyProper(g *graph.Graph, c *Partial, numColors int) error {
+	if len(c.Colors) != g.N() {
+		return fmt.Errorf("coloring: %d colors for %d vertices", len(c.Colors), g.N())
+	}
+	for v, col := range c.Colors {
+		if col == None {
+			continue
+		}
+		if col < 0 || col >= numColors {
+			return fmt.Errorf("coloring: vertex %d has color %d outside [0,%d)", v, col, numColors)
+		}
+		for _, w := range g.Neighbors(v) {
+			if c.Colors[w] == col {
+				return fmt.Errorf("coloring: monochromatic edge {%d,%d} with color %d", v, w, col)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyComplete checks properness and that every vertex is colored.
+func VerifyComplete(g *graph.Graph, c *Partial, numColors int) error {
+	if err := VerifyProper(g, c, numColors); err != nil {
+		return err
+	}
+	for v, col := range c.Colors {
+		if col == None {
+			return fmt.Errorf("coloring: vertex %d uncolored", v)
+		}
+	}
+	return nil
+}
+
+// VerifyLists checks properness plus that each colored vertex used a color
+// from its list.
+func VerifyLists(g *graph.Graph, c *Partial, lists []Palette) error {
+	maxColor := 0
+	for _, l := range lists {
+		if m := l.Max(); m >= maxColor {
+			maxColor = m + 1
+		}
+	}
+	if err := VerifyProper(g, c, maxColor); err != nil {
+		return err
+	}
+	for v, col := range c.Colors {
+		if col != None && !lists[v].Has(col) {
+			return fmt.Errorf("coloring: vertex %d used color %d not in its list", v, col)
+		}
+	}
+	return nil
+}
+
+// Palette is a set of colors represented as a bitset. The zero value is the
+// empty palette.
+type Palette struct {
+	words []uint64
+}
+
+// FullPalette returns the palette {0, ..., k-1}.
+func FullPalette(k int) Palette {
+	p := Palette{words: make([]uint64, (k+63)/64)}
+	for i := 0; i < k; i++ {
+		p.Add(i)
+	}
+	return p
+}
+
+// Add inserts color x.
+func (p *Palette) Add(x int) {
+	w := x / 64
+	for len(p.words) <= w {
+		p.words = append(p.words, 0)
+	}
+	p.words[w] |= 1 << (x % 64)
+}
+
+// Remove deletes color x if present.
+func (p *Palette) Remove(x int) {
+	w := x / 64
+	if w < len(p.words) {
+		p.words[w] &^= 1 << (x % 64)
+	}
+}
+
+// Has reports whether color x is in the palette.
+func (p Palette) Has(x int) bool {
+	w := x / 64
+	return x >= 0 && w < len(p.words) && p.words[w]&(1<<(x%64)) != 0
+}
+
+// Size returns the number of colors in the palette.
+func (p Palette) Size() int {
+	n := 0
+	for _, w := range p.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Min returns the smallest color in the palette, or -1 if empty.
+func (p Palette) Min() int {
+	for i, w := range p.words {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest color in the palette, or -1 if empty.
+func (p Palette) Max() int {
+	for i := len(p.words) - 1; i >= 0; i-- {
+		if p.words[i] != 0 {
+			return i*64 + 63 - bits.LeadingZeros64(p.words[i])
+		}
+	}
+	return -1
+}
+
+// Clone returns a copy of the palette.
+func (p Palette) Clone() Palette {
+	out := Palette{words: make([]uint64, len(p.words))}
+	copy(out.words, p.words)
+	return out
+}
+
+// Colors returns the palette's colors in increasing order.
+func (p Palette) Colors() []int {
+	out := make([]int, 0, p.Size())
+	for i, w := range p.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*64+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// Available returns the palette [0,k) minus the colors of v's colored
+// neighbors in g — the greedy choice set for v.
+func Available(g *graph.Graph, c *Partial, v, k int) Palette {
+	p := FullPalette(k)
+	for _, w := range g.Neighbors(v) {
+		if col := c.Colors[w]; col != None && col < k {
+			p.Remove(col)
+		}
+	}
+	return p
+}
+
+// GreedyComplete colors every uncolored vertex of g (in index order) with
+// the smallest available color from [0,k). It returns an error if some
+// vertex has no available color. It is the sequential baseline and the
+// final safety net in tests.
+func GreedyComplete(g *graph.Graph, c *Partial, k int) error {
+	for v := range c.Colors {
+		if c.Colors[v] != None {
+			continue
+		}
+		p := Available(g, c, v, k)
+		col := p.Min()
+		if col < 0 {
+			return fmt.Errorf("coloring: vertex %d has empty palette", v)
+		}
+		c.Colors[v] = col
+	}
+	return nil
+}

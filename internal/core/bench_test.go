@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func BenchmarkColorDeterministic(b *testing.B) {
+	g, _ := graph.HardCliqueBipartite(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ColorDeterministic(local.New(g), TestParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColorRandomized(b *testing.B) {
+	g, _ := graph.HardCliqueBipartite(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		if _, err := ColorRandomized(local.New(g), TestRandomizedParams(), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColorSimpleDense(b *testing.B) {
+	g, _ := graph.HardCliqueBipartite(16, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ColorSimpleDense(local.New(g), TestParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"deltacoloring/internal/acd"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+	"deltacoloring/internal/loophole"
+)
+
+func TestRandomizedHardCliqueBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g, _ := graph.HardCliqueBipartite(16, 16)
+	res, err := ColorRandomized(local.New(g), TestRandomizedParams(), rng)
+	if err != nil {
+		t.Fatalf("ColorRandomized: %v", err)
+	}
+	requireColoring(t, g, &res.Result)
+	if res.Rand.TNodesProposed == 0 {
+		t.Fatal("no T-nodes proposed (expected ~half the cliques)")
+	}
+	if res.Rand.TNodesKept == 0 {
+		t.Fatal("no T-nodes survived spacing")
+	}
+	if res.Rand.TNodesKept > res.Rand.TNodesProposed {
+		t.Fatal("kept more T-nodes than proposed")
+	}
+}
+
+func TestRandomizedManySeeds(t *testing.T) {
+	g, _ := graph.HardCliqueBipartite(16, 16)
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		res, err := ColorRandomized(local.New(g), TestRandomizedParams(), rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		requireColoring(t, g, &res.Result)
+	}
+}
+
+func TestRandomizedEasyOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g, _ := graph.EasyCliqueRing(8, 16)
+	res, err := ColorRandomized(local.New(g), TestRandomizedParams(), rng)
+	if err != nil {
+		t.Fatalf("ColorRandomized: %v", err)
+	}
+	requireColoring(t, g, &res.Result)
+	if res.Rand.TNodesProposed != 0 {
+		t.Fatal("T-nodes proposed in a graph with no hard cliques")
+	}
+}
+
+func TestRandomizedMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g, _ := graph.HardWithEasyPatch(16, 16)
+	res, err := ColorRandomized(local.New(g), TestRandomizedParams(), rng)
+	if err != nil {
+		t.Fatalf("ColorRandomized: %v", err)
+	}
+	requireColoring(t, g, &res.Result)
+}
+
+func TestRandomizedRejectsSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	g := graph.Torus(8, 8) // Δ = 4, all sparse
+	if _, err := ColorRandomized(local.New(g), TestRandomizedParams(), rng); !errors.Is(err, ErrNotDense) {
+		t.Fatalf("expected ErrNotDense, got %v", err)
+	}
+}
+
+func TestRandomizedRejectsBrooks(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	g := graph.Union(graph.Complete(17), graph.Complete(17))
+	if _, err := ColorRandomized(local.New(g), TestRandomizedParams(), rng); !errors.Is(err, ErrBrooks) {
+		t.Fatalf("expected ErrBrooks, got %v", err)
+	}
+}
+
+func TestRandomizedRejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	g, _ := graph.HardCliqueBipartite(16, 16)
+	p := TestRandomizedParams()
+	p.TProb = 0
+	if _, err := ColorRandomized(local.New(g), p, rng); err == nil {
+		t.Fatal("accepted TProb = 0")
+	}
+	p = TestRandomizedParams()
+	p.Spacing = 1
+	if _, err := ColorRandomized(local.New(g), p, rng); err == nil {
+		t.Fatal("accepted tiny spacing")
+	}
+}
+
+// The spacing invariant: surviving T-node vertex sets are pairwise at
+// distance >= Spacing.
+func TestTNodeSpacing(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g, _ := graph.HardCliqueBipartite(16, 16)
+	net := local.New(g)
+	a, cl, hardOf := classifyForTest(t, net)
+	rp := TestRandomizedParams()
+	pl := placeTNodes(g, a, cl, hardOf, rp, rng)
+	if len(pl.kept) == 0 {
+		t.Skip("no kept T-nodes for this seed")
+	}
+	for i := 0; i < len(pl.kept); i++ {
+		for j := i + 1; j < len(pl.kept); j++ {
+			for _, u := range []int{pl.kept[i].Slack, pl.kept[i].PairIn, pl.kept[i].PairOut} {
+				for _, w := range []int{pl.kept[j].Slack, pl.kept[j].PairIn, pl.kept[j].PairOut} {
+					if d := g.Dist(u, w); d >= 0 && d < rp.Spacing {
+						t.Fatalf("kept T-nodes %d and %d at distance %d < %d", i, j, d, rp.Spacing)
+					}
+				}
+			}
+		}
+	}
+	// Every kept T-node is a valid slack triad.
+	for _, tr := range pl.kept {
+		if !g.HasEdge(tr.Slack, tr.PairIn) || !g.HasEdge(tr.Slack, tr.PairOut) {
+			t.Fatalf("T-node %+v pair not adjacent to slack", tr)
+		}
+		if g.HasEdge(tr.PairIn, tr.PairOut) {
+			t.Fatalf("T-node %+v pair adjacent", tr)
+		}
+	}
+}
+
+func classifyForTest(t *testing.T, net *local.Network) (*acd.ACD, *loophole.Classification, []int) {
+	t.Helper()
+	g := net.Graph()
+	ac, err := acd.Compute(net, TestParams().Eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := loophole.Classify(g, ac)
+	hardOf := make([]int, g.N())
+	for v := range hardOf {
+		hardOf[v] = -1
+	}
+	for ci, members := range ac.Cliques {
+		if !c.Easy[ci] {
+			for _, v := range members {
+				hardOf[v] = ci
+			}
+		}
+	}
+	return ac, c, hardOf
+}
+
+// The randomized shattering should leave components much smaller than the
+// graph on the hard family.
+func TestRandomizedShatters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test")
+	}
+	rng := rand.New(rand.NewSource(38))
+	g, _ := graph.HardCliqueBipartite(48, 16)
+	res, err := ColorRandomized(local.New(g), TestRandomizedParams(), rng)
+	if err != nil {
+		t.Fatalf("ColorRandomized: %v", err)
+	}
+	requireColoring(t, g, &res.Result)
+	if res.Rand.Components > 0 && res.Rand.MaxComponent >= g.N() {
+		t.Fatalf("no shattering: max component %d of %d", res.Rand.MaxComponent, g.N())
+	}
+}
+
+func TestDefaultRandomizedParamsValid(t *testing.T) {
+	p := DefaultRandomizedParams()
+	if err := p.Validate(126); err != nil {
+		t.Fatalf("paper randomized params invalid at Δ=126: %v", err)
+	}
+	if p.TProb <= 0 || p.Spacing < 4 || p.HappyRadius < 2 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+}
+
+// At larger scale some shattered components must contain genuinely
+// hard-like cliques, exercising the full Algorithm 2 machinery inside the
+// post-shattering phase.
+func TestRandomizedComponentsRunHardMachinery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test")
+	}
+	total := 0
+	g, _ := graph.HardCliqueBipartite(64, 16)
+	// A sparse T-node placement leaves large components whose interiors
+	// are beyond every out-of-component slack source.
+	p := TestRandomizedParams()
+	p.TProb = 0.05
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		res, err := ColorRandomized(local.New(g), p, rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		requireColoring(t, g, &res.Result)
+		total += res.Rand.HardLikeInComponents
+	}
+	if total == 0 {
+		t.Fatal("no component ever contained a hard-like clique across 4 seeds")
+	}
+}

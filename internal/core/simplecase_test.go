@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func TestSimpleDenseColorsHardFamily(t *testing.T) {
+	g, _ := graph.HardCliqueBipartite(16, 16)
+	net := local.New(g)
+	res, err := ColorSimpleDense(net, TestParams())
+	if err != nil {
+		t.Fatalf("ColorSimpleDense: %v", err)
+	}
+	if err := coloring.VerifyComplete(g, res.Coloring, g.MaxDegree()); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Triads != 32 {
+		t.Fatalf("triads = %d, want 32", res.Stats.Triads)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds charged")
+	}
+}
+
+func TestSimpleDenseMatchesGeneralPipeline(t *testing.T) {
+	g, _ := graph.HardCliqueBipartite(24, 16)
+	simple, err := ColorSimpleDense(local.New(g), TestParams())
+	if err != nil {
+		t.Fatalf("simple: %v", err)
+	}
+	general, err := ColorDeterministic(local.New(g), TestParams())
+	if err != nil {
+		t.Fatalf("general: %v", err)
+	}
+	for _, res := range []*Result{simple, general} {
+		if err := coloring.VerifyComplete(g, res.Coloring, g.MaxDegree()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both must form one triad per clique; the simple path skips the
+	// matching+HEG phases entirely.
+	if simple.Stats.Triads != general.Stats.Triads {
+		t.Fatalf("triads differ: %d vs %d", simple.Stats.Triads, general.Stats.Triads)
+	}
+	if simple.Stats.F1Size != 0 || simple.Stats.F2Size != 0 {
+		t.Fatal("simple path should not run the matching/HEG phases")
+	}
+}
+
+func TestSimpleDenseRejectsEasyCliques(t *testing.T) {
+	g, _ := graph.EasyCliqueRing(8, 16)
+	if _, err := ColorSimpleDense(local.New(g), TestParams()); err == nil {
+		t.Fatal("accepted easy cliques")
+	}
+	mixed, _ := graph.HardWithEasyPatch(16, 16)
+	if _, err := ColorSimpleDense(local.New(mixed), TestParams()); err == nil {
+		t.Fatal("accepted mixed instance")
+	}
+}
+
+func TestSimpleDenseRejectsSparse(t *testing.T) {
+	g := graph.Torus(8, 8)
+	if _, err := ColorSimpleDense(local.New(g), TestParams()); err == nil {
+		t.Fatal("accepted sparse graph")
+	}
+}
+
+func TestSimpleDenseRejectsSmallDelta(t *testing.T) {
+	g := graph.Complete(4)
+	if _, err := ColorSimpleDense(local.New(g), TestParams()); err == nil {
+		t.Fatal("accepted Δ < 6")
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edge
+// insertions are tolerated and collapsed; self-loops are rejected at Build
+// time. The zero Builder is not usable; create one with NewBuilder.
+type Builder struct {
+	n    int
+	adj  [][]int
+	ids  []uint64
+	bad  []string
+	seal bool
+}
+
+// NewBuilder returns a builder for a graph on n vertices with default
+// IDs (ID(v) = v).
+func NewBuilder(n int) *Builder {
+	b := &Builder{n: n, adj: make([][]int, n), ids: make([]uint64, n)}
+	for v := 0; v < n; v++ {
+		b.ids[v] = uint64(v)
+	}
+	return b
+}
+
+// AddEdge records the undirected edge {u, v}. Out-of-range endpoints and
+// self-loops are recorded as errors surfaced by Build.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.bad = append(b.bad, fmt.Sprintf("edge {%d,%d} out of range [0,%d)", u, v, b.n))
+		return
+	}
+	if u == v {
+		b.bad = append(b.bad, fmt.Sprintf("self-loop at %d", u))
+		return
+	}
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+// SetID overrides the symmetry-breaking identifier of v. IDs must be unique
+// across the graph; Build verifies this.
+func (b *Builder) SetID(v int, id uint64) {
+	if v < 0 || v >= b.n {
+		b.bad = append(b.bad, fmt.Sprintf("SetID: vertex %d out of range", v))
+		return
+	}
+	b.ids[v] = id
+}
+
+// Build finalizes the graph: deduplicates and sorts adjacency lists and
+// validates IDs. The builder must not be reused afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.seal {
+		return nil, fmt.Errorf("graph: builder reused after Build")
+	}
+	b.seal = true
+	if len(b.bad) > 0 {
+		return nil, fmt.Errorf("graph: %d invalid operations, first: %s", len(b.bad), b.bad[0])
+	}
+	g := &Graph{adj: make([][]int, b.n), ids: b.ids}
+	for v := range b.adj {
+		l := b.adj[v]
+		sort.Ints(l)
+		out := l[:0]
+		prev := -1
+		for _, w := range l {
+			if w != prev {
+				out = append(out, w)
+				prev = w
+			}
+		}
+		// Copy into a right-sized slice so the builder's over-allocated
+		// backing arrays can be collected.
+		nl := make([]int, len(out))
+		copy(nl, out)
+		g.adj[v] = nl
+		g.m += len(nl)
+	}
+	g.m /= 2
+	seen := make(map[uint64]bool, b.n)
+	for v, id := range g.ids {
+		if seen[id] {
+			return nil, fmt.Errorf("graph: duplicate ID %d (vertex %d)", id, v)
+		}
+		seen[id] = true
+	}
+	return g, nil
+}
+
+// MustBuild is Build for generators whose inputs are validated upfront;
+// it panics on error and is intended for package-internal use and tests.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromEdges constructs a graph on n vertices from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// dotPalette holds distinguishable fill colors for small palettes; larger
+// color indices wrap around with a lighter shade.
+var dotPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+	"#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#86bcb6", "#d37295",
+	"#fabfd2", "#b6992d", "#499894", "#79706e",
+}
+
+// WriteDOT renders the graph in Graphviz DOT format. colors may be nil (no
+// fill) or a per-vertex color index; groups may be nil or a per-vertex
+// cluster id (e.g. an almost-clique index) rendered as subgraph clusters.
+func WriteDOT(w io.Writer, g *Graph, colors []int, groups []int) error {
+	if colors != nil && len(colors) != g.N() {
+		return fmt.Errorf("graph: %d colors for %d vertices", len(colors), g.N())
+	}
+	if groups != nil && len(groups) != g.N() {
+		return fmt.Errorf("graph: %d groups for %d vertices", len(groups), g.N())
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("graph G {\n  node [shape=circle, style=filled, fillcolor=white];\n")
+	node := func(v int) {
+		if colors != nil && colors[v] >= 0 {
+			fill := dotPalette[colors[v]%len(dotPalette)]
+			p("    %d [fillcolor=%q, label=\"%d\\nc%d\"];\n", v, fill, v, colors[v])
+		} else {
+			p("    %d;\n", v)
+		}
+	}
+	if groups != nil {
+		byGroup := map[int][]int{}
+		order := []int{}
+		for v := 0; v < g.N(); v++ {
+			if _, ok := byGroup[groups[v]]; !ok {
+				order = append(order, groups[v])
+			}
+			byGroup[groups[v]] = append(byGroup[groups[v]], v)
+		}
+		for _, gid := range order {
+			p("  subgraph cluster_%d {\n    label=\"C%d\";\n", gid, gid)
+			for _, v := range byGroup[gid] {
+				node(v)
+			}
+			p("  }\n")
+		}
+	} else {
+		for v := 0; v < g.N(); v++ {
+			node(v)
+		}
+	}
+	for _, e := range g.Edges() {
+		p("  %d -- %d;\n", e.U, e.V)
+	}
+	p("}\n")
+	return err
+}

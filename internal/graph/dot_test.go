@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOTPlain(t *testing.T) {
+	g := Cycle(4)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph G {", "0 -- 1;", "2 -- 3;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTWithColorsAndGroups(t *testing.T) {
+	g := Complete(4)
+	colors := []int{0, 1, 2, 3}
+	groups := []int{0, 0, 1, 1}
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, colors, groups); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"subgraph cluster_0", "subgraph cluster_1", "fillcolor", "c3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTValidation(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, []int{1}, nil); err == nil {
+		t.Fatal("accepted short colors")
+	}
+	if err := WriteDOT(&sb, g, nil, []int{1}); err == nil {
+		t.Fatal("accepted short groups")
+	}
+}

@@ -1,0 +1,250 @@
+// Package graph provides the static graph substrate used by every other
+// package in this repository: adjacency structures, generators for the
+// dense-graph families studied in the paper, induced subgraphs, and basic
+// structural predicates (cliques, degrees, common neighborhoods).
+//
+// Vertices are dense integer indices in [0, N). Every vertex additionally
+// carries a unique identifier (ID) used by the distributed algorithms for
+// symmetry breaking; by default ID(v) == v, but tests may permute IDs to
+// ensure no algorithm silently depends on index order.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected simple graph with sorted adjacency lists.
+// Build one with a Builder or a generator; after construction it must not be
+// mutated. All query methods are safe for concurrent use.
+type Graph struct {
+	adj [][]int
+	ids []uint64
+	m   int
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// ID returns the unique identifier of v used for symmetry breaking.
+func (g *Graph) ID(v int) uint64 { return g.ids[v] }
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	// Search the shorter list.
+	a := g.adj[u]
+	if len(g.adj[v]) < len(a) {
+		a, v = g.adj[v], u
+	}
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+// MaxDegree returns the maximum degree Δ of the graph (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// MinDegree returns the minimum degree of the graph (0 for the empty graph).
+func (g *Graph) MinDegree() int {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	d := len(g.adj[0])
+	for v := range g.adj {
+		if len(g.adj[v]) < d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int
+}
+
+// Edges returns all edges with U < V, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if u < v {
+				es = append(es, Edge{U: u, V: v})
+			}
+		}
+	}
+	return es
+}
+
+// CommonNeighbors returns the number of common neighbors of u and v.
+func (g *Graph) CommonNeighbors(u, v int) int {
+	a, b := g.adj[u], g.adj[v]
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// IsClique reports whether the given vertex set induces a clique.
+func (g *Graph) IsClique(vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NeighborsWithin returns all vertices at distance in [1, r] from v, sorted.
+// It corresponds to collecting the radius-r ball in the LOCAL model.
+func (g *Graph) NeighborsWithin(v, r int) []int {
+	if r <= 0 {
+		return nil
+	}
+	seen := map[int]bool{v: true}
+	frontier := []int{v}
+	var out []int
+	for d := 0; d < r; d++ {
+		var next []int
+		for _, u := range frontier {
+			for _, w := range g.adj[u] {
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+					out = append(out, w)
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Dist returns the hop distance between u and v, or -1 if disconnected.
+func (g *Graph) Dist(u, v int) int {
+	if u == v {
+		return 0
+	}
+	seen := make([]bool, g.N())
+	seen[u] = true
+	frontier := []int{u}
+	for d := 1; len(frontier) > 0; d++ {
+		var next []int
+		for _, x := range frontier {
+			for _, w := range g.adj[x] {
+				if w == v {
+					return d
+				}
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return -1
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted, ordered by smallest contained vertex.
+func (g *Graph) ConnectedComponents() [][]int {
+	seen := make([]bool, g.N())
+	var comps [][]int
+	for s := 0; s < g.N(); s++ {
+		if seen[s] {
+			continue
+		}
+		comp := []int{s}
+		seen[s] = true
+		for q := 0; q < len(comp); q++ {
+			for _, w := range g.adj[comp[q]] {
+				if !seen[w] {
+					seen[w] = true
+					comp = append(comp, w)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Validate checks internal consistency (sorted adjacency, symmetry, no
+// self-loops, unique IDs). Generators call it in tests; it is not on any
+// hot path.
+func (g *Graph) Validate() error {
+	idSeen := make(map[uint64]int, g.N())
+	for v, id := range g.ids {
+		if w, dup := idSeen[id]; dup {
+			return fmt.Errorf("graph: duplicate ID %d on vertices %d and %d", id, w, v)
+		}
+		idSeen[id] = v
+	}
+	edges := 0
+	for v := range g.adj {
+		prev := -1
+		for _, w := range g.adj[v] {
+			if w == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if w <= prev {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			if w < 0 || w >= g.N() {
+				return fmt.Errorf("graph: neighbor %d of %d out of range", w, v)
+			}
+			if !g.HasEdge(w, v) {
+				return fmt.Errorf("graph: edge {%d,%d} not symmetric", v, w)
+			}
+			prev = w
+		}
+		edges += len(g.adj[v])
+	}
+	if edges != 2*g.m {
+		return fmt.Errorf("graph: edge count mismatch: %d half-edges, m=%d", edges, g.m)
+	}
+	return nil
+}
+
+// String returns a short summary, e.g. "graph(n=100, m=250, Δ=5)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, Δ=%d)", g.N(), g.M(), g.MaxDegree())
+}

@@ -1,0 +1,128 @@
+package graph
+
+import "sort"
+
+// Sub is an induced subgraph together with the vertex mapping back to the
+// parent graph.
+type Sub struct {
+	// G is the induced subgraph with vertices renumbered to [0, len(ToParent)).
+	G *Graph
+	// ToParent maps subgraph vertex -> parent vertex.
+	ToParent []int
+	// FromParent maps parent vertex -> subgraph vertex, or -1.
+	FromParent []int
+}
+
+// Induced returns the subgraph of g induced by vs (duplicates are ignored).
+// IDs are inherited from the parent so symmetry breaking stays consistent.
+func Induced(g *Graph, vs []int) *Sub {
+	uniq := make([]int, 0, len(vs))
+	in := make([]bool, g.N())
+	for _, v := range vs {
+		if !in[v] {
+			in[v] = true
+			uniq = append(uniq, v)
+		}
+	}
+	sort.Ints(uniq)
+	from := make([]int, g.N())
+	for i := range from {
+		from[i] = -1
+	}
+	for i, v := range uniq {
+		from[v] = i
+	}
+	b := NewBuilder(len(uniq))
+	for i, v := range uniq {
+		b.SetID(i, g.ID(v))
+		for _, w := range g.Neighbors(v) {
+			if in[w] && v < w {
+				b.AddEdge(i, from[w])
+			}
+		}
+	}
+	return &Sub{G: b.MustBuild(), ToParent: uniq, FromParent: from}
+}
+
+// Power returns the r-th power graph of g: vertices are the same and u~v iff
+// 1 <= dist(u,v) <= r. Used for distance-r ruling sets; one round on the
+// power graph costs r rounds on g (see internal/local.Virtual).
+func Power(g *Graph, r int) *Graph {
+	b := NewBuilder(g.N())
+	for v := 0; v < g.N(); v++ {
+		b.SetID(v, g.ID(v))
+		for _, w := range g.NeighborsWithin(v, r) {
+			if v < w {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// LineGraph returns the line graph of g: one vertex per edge of g, with two
+// line-vertices adjacent iff the underlying edges share an endpoint. The
+// second return value lists the underlying edge of each line-vertex.
+// Line-vertex IDs are the rank of the edge in lexicographic order, which is
+// a valid unique ID computable locally from endpoint IDs in the LOCAL model
+// (we use the pair encoding directly).
+func LineGraph(g *Graph) (*Graph, []Edge) {
+	edges := g.Edges()
+	idx := make(map[Edge]int, len(edges))
+	for i, e := range edges {
+		idx[e] = i
+	}
+	b := NewBuilder(len(edges))
+	for i, e := range edges {
+		// Encode endpoint IDs into a unique 64-bit ID (supports n < 2^32).
+		b.SetID(i, g.ID(e.U)<<32|g.ID(e.V)&0xffffffff)
+		for _, ends := range [2]int{e.U, e.V} {
+			for _, w := range g.Neighbors(ends) {
+				var f Edge
+				if ends < w {
+					f = Edge{U: ends, V: w}
+				} else {
+					f = Edge{U: w, V: ends}
+				}
+				if f == e {
+					continue
+				}
+				j := idx[f]
+				if i < j {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+	}
+	return b.MustBuild(), edges
+}
+
+// Union returns the disjoint union of the given graphs, with vertices of
+// graph i offset by the total size of graphs 0..i-1. IDs are re-based to
+// stay unique.
+func Union(gs ...*Graph) *Graph {
+	n := 0
+	for _, g := range gs {
+		n += g.N()
+	}
+	b := NewBuilder(n)
+	off := 0
+	var idOff uint64
+	for _, g := range gs {
+		var maxID uint64
+		for v := 0; v < g.N(); v++ {
+			if g.ID(v) > maxID {
+				maxID = g.ID(v)
+			}
+			b.SetID(off+v, idOff+g.ID(v))
+			for _, w := range g.Neighbors(v) {
+				if v < w {
+					b.AddEdge(off+v, off+w)
+				}
+			}
+		}
+		off += g.N()
+		idOff += maxID + 1
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,85 @@
+// Package graphio reads and writes graphs in the repository's plain
+// edge-list format, shared by the CLI tools:
+//
+//	# optional comments
+//	<n>
+//	<u> <v>
+//	...
+//
+// Vertices are 0-based indices below n; blank lines and '#' comments are
+// ignored.
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"deltacoloring/internal/graph"
+)
+
+// Read parses an edge-list graph.
+func Read(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := -1
+	var b *graph.Builder
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if n < 0 {
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("graphio: first line must be the vertex count, got %q", line)
+			}
+			v, err := strconv.Atoi(fields[0])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("graphio: invalid vertex count %q", fields[0])
+			}
+			n = v
+			b = graph.NewBuilder(n)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graphio: edge lines need two vertices, got %q", line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graphio: bad edge %q", line)
+		}
+		b.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graphio: empty input")
+	}
+	return b.Build()
+}
+
+// Write renders g in the edge-list format with an optional leading comment.
+func Write(w io.Writer, g *graph.Graph, comment string) error {
+	bw := bufio.NewWriter(w)
+	if comment != "" {
+		for _, line := range strings.Split(comment, "\n") {
+			if _, err := fmt.Fprintf(bw, "# %s\n", line); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(bw, g.N()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintln(bw, e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,84 @@
+package graphio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"deltacoloring/internal/graph"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := "# a comment\n4\n0 1\n\n1 2\n2 3\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("shape n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x\n",
+		"-3\n",
+		"2\n0 1 2\n",
+		"2\n0 z\n",
+		"2\n0 5\n",
+		"1 2\n",
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	g := graph.Torus(4, 5)
+	var sb strings.Builder
+	if err := Write(&sb, g, "torus 4x5\nsecond line"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "# torus 4x5\n# second line\n20\n") {
+		t.Fatalf("header wrong:\n%s", sb.String()[:40])
+	}
+	back, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatal("round trip changed shape")
+	}
+}
+
+// Property: Write then Read is the identity on adjacency structure.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := graph.ErdosRenyi(n, 0.3, rng)
+		var sb strings.Builder
+		if err := Write(&sb, g, ""); err != nil {
+			return false
+		}
+		back, err := Read(strings.NewReader(sb.String()))
+		if err != nil || back.N() != g.N() || back.M() != g.M() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			for w := v + 1; w < n; w++ {
+				if g.HasEdge(v, w) != back.HasEdge(v, w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

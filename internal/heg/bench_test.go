@@ -1,0 +1,28 @@
+package heg
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func BenchmarkSolve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := randomInstance(2000, 4000, 5, 4, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := local.New(graph.Path(2))
+		grab, _, err := Solve(net, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if err := Verify(h, grab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package linial implements Linial's classic O(log* n)-round coloring
+// algorithm [Lin92] together with the standard color-class reduction, the
+// symmetry-breaking substrate used by the maximal-matching, MIS, ruling-set,
+// and list-coloring packages.
+//
+// One Linial step reduces a proper m-coloring to a proper q²-coloring
+// (q ≈ dΔ) in a single round using the algebraic cover-free family: color c
+// is interpreted as a polynomial p_c of degree ≤ d over F_q (its base-q
+// digits); two distinct polynomials agree on at most d points, so among the
+// q > dΔ evaluation points each vertex finds an x where its polynomial
+// differs from those of all ≤ Δ neighbors and adopts (x, p_c(x)) as its new
+// color. Iterating reaches O(Δ² log² Δ) colors in O(log* m) rounds, after
+// which class-by-class reduction yields the target palette in O(Δ²)
+// additional rounds.
+package linial
+
+import (
+	"fmt"
+	"math"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// step describes one Linial reduction round: colors in [0, m) shrink to
+// [0, q*q) via degree-d polynomials over F_q.
+type step struct {
+	d, q uint64
+}
+
+// planSteps precomputes the deterministic (d, q) schedule for reducing
+// colors from an initial space of mBits bits down to the fixed point. The
+// schedule is a pure function of (mBits, Δ), so every node knows it.
+func planSteps(mBits float64, delta int) []step {
+	if delta < 1 {
+		return nil
+	}
+	var steps []step
+	for iter := 0; iter < 64; iter++ {
+		s, ok := chooseStep(mBits, delta)
+		if !ok {
+			break
+		}
+		newBits := 2 * math.Log2(float64(s.q))
+		if newBits >= mBits {
+			break // fixed point reached; further steps make it worse
+		}
+		steps = append(steps, s)
+		mBits = newBits
+	}
+	return steps
+}
+
+// chooseStep picks the smallest degree d (hence smallest q and output space)
+// such that q^(d+1) can encode all current colors.
+func chooseStep(mBits float64, delta int) (step, bool) {
+	for d := uint64(1); d <= 80; d++ {
+		q := nextPrime(d*uint64(delta) + 1)
+		if float64(d+1)*math.Log2(float64(q)) >= mBits {
+			return step{d: d, q: q}, true
+		}
+	}
+	return step{}, false
+}
+
+func nextPrime(n uint64) uint64 {
+	if n < 2 {
+		return 2
+	}
+	for {
+		if isPrime(n) {
+			return n
+		}
+		n++
+	}
+}
+
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := uint64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// digitsBaseQ returns the d+1 base-q digits of c (little-endian) — the
+// coefficients of the polynomial representing color c.
+func digitsBaseQ(c, q uint64, d uint64) []uint64 {
+	coeffs := make([]uint64, d+1)
+	for i := range coeffs {
+		coeffs[i] = c % q
+		c /= q
+	}
+	return coeffs
+}
+
+// evalPoly evaluates the polynomial with the given coefficients at x mod q.
+func evalPoly(coeffs []uint64, x, q uint64) uint64 {
+	var acc uint64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = (acc*x + coeffs[i]) % q
+	}
+	return acc
+}
+
+// Color computes a proper coloring of net's graph with at most
+// max(target, Δ+1) colors, starting from the graph's unique IDs, in
+// O(log* n + Δ² ) rounds. target must be at least Δ+1.
+func Color(net *local.Network, target int) ([]int, error) {
+	g := net.Graph()
+	delta := g.MaxDegree()
+	if target < delta+1 {
+		return nil, fmt.Errorf("linial: target %d below Δ+1 = %d", target, delta+1)
+	}
+	if g.N() == 0 {
+		return nil, nil
+	}
+	if delta == 0 {
+		return make([]int, g.N()), nil
+	}
+
+	// Initial colors: the 64-bit unique IDs.
+	cur := make([]uint64, g.N())
+	var maxID uint64
+	for v := range cur {
+		cur[v] = g.ID(v)
+		if cur[v] > maxID {
+			maxID = cur[v]
+		}
+	}
+	mBits := math.Log2(float64(maxID) + 2)
+
+	// Phase 1: Linial reduction rounds (the schedule is globally known).
+	m := maxID + 1
+	for _, s := range planSteps(mBits, delta) {
+		cur = linialRound(net, cur, s)
+		m = s.q * s.q
+	}
+
+	// Phase 2: batched Kuhn–Wattenhofer reduction from m colors to target.
+	colors, err := Reduce(net, toInts(cur), int(m), target)
+	if err != nil {
+		return nil, err
+	}
+	return colors, nil
+}
+
+func toInts(cur []uint64) []int {
+	out := make([]int, len(cur))
+	for i, c := range cur {
+		out[i] = int(c)
+	}
+	return out
+}
+
+// linialRound performs one algebraic reduction round on the state engine.
+func linialRound(net *local.Network, cur []uint64, s step) []uint64 {
+	return local.Exchange(net, cur, func(v int, self uint64, nbrs local.Nbrs[uint64]) uint64 {
+		mine := digitsBaseQ(self, s.q, s.d)
+		// Find x in F_q where our polynomial differs from every neighbor's.
+		for x := uint64(0); x < s.q; x++ {
+			y := evalPoly(mine, x, s.q)
+			ok := true
+			for i := 0; i < nbrs.Len(); i++ {
+				other := nbrs.State(i)
+				if other == self {
+					// Proper-coloring invariant violated by caller.
+					ok = false
+					break
+				}
+				theirs := digitsBaseQ(other, s.q, s.d)
+				if evalPoly(theirs, x, s.q) == y {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return x*s.q + y
+			}
+		}
+		// Unreachable when the invariant holds: ≤ dΔ < q bad points.
+		panic(fmt.Sprintf("linial: no free evaluation point at vertex %d (improper input coloring?)", v))
+	})
+}
+
+// Reduce lowers a proper coloring with colors in [0, m) to a proper
+// coloring with colors in [0, target), target >= Δ+1, using the batched
+// Kuhn–Wattenhofer scheme: the color space is cut into blocks of 2·target
+// colors; in parallel over blocks, the top `target` colors of each block are
+// retired one per round (vertices recolor greedily inside their block, which
+// is safe because same-round recolorers in different blocks land in disjoint
+// ranges and same-block classes are independent sets). Each halving costs
+// `target` rounds, so the total is O(target · log(m/target)) rounds.
+func Reduce(net *local.Network, cur []int, m, target int) ([]int, error) {
+	g := net.Graph()
+	if target < g.MaxDegree()+1 {
+		return nil, fmt.Errorf("linial: reduction target %d below Δ+1 = %d", target, g.MaxDegree()+1)
+	}
+	for v, c := range cur {
+		if c < 0 || c >= m {
+			return nil, fmt.Errorf("linial: vertex %d has color %d outside [0,%d)", v, c, m)
+		}
+	}
+	out := make([]int, len(cur))
+	copy(out, cur)
+	for m > target {
+		blockSize := 2 * target
+		// Colors >= m exist nowhere; since m is global knowledge the
+		// schedule can skip classes that are empty in every block.
+		firstTop := blockSize - 1
+		if m-1 < firstTop {
+			firstTop = m - 1
+		}
+		for top := firstTop; top >= target; top-- {
+			out = local.Exchange(net, out, func(v int, self int, nbrs local.Nbrs[int]) int {
+				if self%blockSize != top {
+					return self
+				}
+				block := self / blockSize
+				used := make([]bool, target)
+				for i := 0; i < nbrs.Len(); i++ {
+					nc := nbrs.State(i)
+					if nc/blockSize == block && nc%blockSize < target {
+						used[nc%blockSize] = true
+					}
+				}
+				for slot, u := range used {
+					if !u {
+						return block*blockSize + slot
+					}
+				}
+				panic("linial: no free slot during reduction (degree invariant violated)")
+			})
+		}
+		// Compact: every color now has slot < target within its block.
+		numBlocks := (m + blockSize - 1) / blockSize
+		for v, c := range out {
+			out[v] = (c/blockSize)*target + c%blockSize
+		}
+		m = numBlocks * target
+	}
+	return out, nil
+}
+
+// ColorGraph is a convenience wrapper building a throwaway network; it
+// returns the coloring and the number of rounds consumed.
+func ColorGraph(g *graph.Graph, target int) ([]int, int, error) {
+	net := local.New(g)
+	colors, err := Color(net, target)
+	return colors, net.Rounds(), err
+}

@@ -1,0 +1,215 @@
+package linial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func properIntColoring(t *testing.T, g *graph.Graph, colors []int, k int) {
+	t.Helper()
+	c := coloring.NewPartial(g.N())
+	copy(c.Colors, colors)
+	if err := coloring.VerifyComplete(g, c, k); err != nil {
+		t.Fatalf("coloring invalid: %v", err)
+	}
+}
+
+func TestColorCycle(t *testing.T) {
+	g := graph.Cycle(101)
+	colors, rounds, err := ColorGraph(g, 3)
+	if err != nil {
+		t.Fatalf("ColorGraph: %v", err)
+	}
+	properIntColoring(t, g, colors, 3)
+	if rounds > 40 {
+		t.Fatalf("cycle coloring took %d rounds, expected O(log* n) + O(Δ log)", rounds)
+	}
+}
+
+func TestColorVariousGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"Path", graph.Path(64)},
+		{"Torus", graph.Torus(9, 11)},
+		{"Complete", graph.Complete(17)},
+		{"Star", graph.Star(30)},
+		{"RandomRegular", graph.RandomRegular(60, 6, rng)},
+		{"Tree", graph.RandomTree(200, rng)},
+		{"ER", graph.ErdosRenyi(80, 0.1, rng)},
+		{"Singleton", graph.Path(1)},
+		{"EdgeOnly", graph.Path(2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			k := c.g.MaxDegree() + 1
+			colors, _, err := ColorGraph(c.g, k)
+			if err != nil {
+				t.Fatalf("ColorGraph: %v", err)
+			}
+			properIntColoring(t, c.g, colors, k)
+		})
+	}
+}
+
+func TestColorWithPermutedIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.PermuteIDs(graph.Torus(8, 8), rng)
+	colors, _, err := ColorGraph(g, 5)
+	if err != nil {
+		t.Fatalf("ColorGraph: %v", err)
+	}
+	properIntColoring(t, g, colors, 5)
+}
+
+func TestColorRejectsTooFewColors(t *testing.T) {
+	g := graph.Complete(4)
+	if _, _, err := ColorGraph(g, 3); err == nil {
+		t.Fatal("accepted target < Δ+1")
+	}
+}
+
+func TestColorTargetAboveDeltaPlusOne(t *testing.T) {
+	g := graph.Cycle(33)
+	colors, _, err := ColorGraph(g, 10)
+	if err != nil {
+		t.Fatalf("ColorGraph: %v", err)
+	}
+	properIntColoring(t, g, colors, 10)
+}
+
+// Round scaling: coloring a path should cost far fewer rounds than its
+// length (log* behaviour, not linear).
+func TestColorRoundsSublinear(t *testing.T) {
+	for _, n := range []int{1 << 8, 1 << 12, 1 << 16} {
+		g := graph.Cycle(n)
+		_, rounds, err := ColorGraph(g, 3)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if rounds > 60 {
+			t.Fatalf("n=%d took %d rounds; expected log*-scale", n, rounds)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	g := graph.Complete(6)
+	net := local.New(g)
+	// A proper coloring with widely spread colors.
+	cur := []int{0, 17, 34, 51, 68, 85}
+	out, err := Reduce(net, cur, 100, 6)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	properIntColoring(t, g, out, 6)
+	if net.Rounds() == 0 {
+		t.Fatal("reduction charged no rounds")
+	}
+}
+
+func TestReduceRejectsBadInput(t *testing.T) {
+	g := graph.Complete(4)
+	net := local.New(g)
+	if _, err := Reduce(net, []int{0, 1, 2, 3}, 4, 3); err == nil {
+		t.Fatal("accepted target < Δ+1")
+	}
+	if _, err := Reduce(net, []int{0, 1, 2, 9}, 4, 4); err == nil {
+		t.Fatal("accepted color >= m")
+	}
+}
+
+func TestPlanStepsReachFixedPoint(t *testing.T) {
+	steps := planSteps(64, 63)
+	if len(steps) == 0 {
+		t.Fatal("no reduction steps planned for 64-bit IDs")
+	}
+	// Bit-length must strictly decrease along the schedule.
+	prev := 64.0
+	for _, s := range steps {
+		if s.q <= s.d*63 {
+			t.Fatalf("step %+v: q not above dΔ", s)
+		}
+		if !isPrime(s.q) {
+			t.Fatalf("step %+v: q not prime", s)
+		}
+		bits := 2 * log2(float64(s.q))
+		if bits >= prev {
+			t.Fatalf("step %+v does not shrink the color space (%f -> %f bits)", s, prev, bits)
+		}
+		prev = bits
+	}
+}
+
+func log2(x float64) float64 {
+	// small helper to avoid importing math in tests twice
+	l := 0.0
+	for x >= 2 {
+		x /= 2
+		l++
+	}
+	return l + x - 1 // adequate monotone approximation for the test
+}
+
+func TestPrimes(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 11, 127, 65537}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Fatalf("%d should be prime", p)
+		}
+	}
+	composites := []uint64{0, 1, 4, 9, 100, 65536}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Fatalf("%d should not be prime", c)
+		}
+	}
+	if nextPrime(0) != 2 || nextPrime(8) != 11 || nextPrime(11) != 11 {
+		t.Fatal("nextPrime wrong")
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	// p(x) = 3 + 2x + x^2 over F_5
+	coeffs := []uint64{3, 2, 1}
+	want := []uint64{3, 1, 1, 3, 2} // p(0..4) mod 5
+	for x, w := range want {
+		if got := evalPoly(coeffs, uint64(x), 5); got != w {
+			t.Fatalf("p(%d) = %d, want %d", x, got, w)
+		}
+	}
+	d := digitsBaseQ(3+2*5+1*25, 5, 2)
+	for i, c := range coeffs {
+		if d[i] != c {
+			t.Fatalf("digits = %v, want %v", d, coeffs)
+		}
+	}
+}
+
+// Property: Color yields a proper Δ+1 coloring on random graphs with random
+// ID permutations.
+func TestColorProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(60)
+		g := graph.PermuteIDs(graph.ErdosRenyi(n, 0.15, rng), rng)
+		k := g.MaxDegree() + 1
+		colors, _, err := ColorGraph(g, k)
+		if err != nil {
+			return false
+		}
+		c := coloring.NewPartial(n)
+		copy(c.Colors, colors)
+		return coloring.VerifyComplete(g, c, k) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package local implements a simulator for the LOCAL model of distributed
+// computing (Linial 1992): an n-node network, synchronous rounds, unbounded
+// messages, and unbounded local computation. An r-round LOCAL algorithm is
+// exactly a function of each node's radius-r neighborhood, and the simulator
+// is built around that fact.
+//
+// # Execution model and round accounting
+//
+// The primary engine is Exchange: one call runs one synchronous round in
+// which every node computes its next state from its own state and the full
+// current states of its neighbors (legitimate in LOCAL because message size
+// is unbounded). Rounds are counted automatically.
+//
+// Constant-radius steps that are awkward to phrase as repeated Exchange
+// calls (collecting a radius-r ball and brute-forcing over it, as the paper
+// does for loopholes and ruling sets) instead call Charge(r) and then read
+// the graph directly. The contract is: any direct read of global structure
+// must be preceded by a Charge covering the radius actually inspected.
+// Tests in this package and the algorithm packages enforce the contract for
+// the shipped algorithms by checking round totals against known bounds.
+//
+// # Virtual graphs
+//
+// The paper's pipeline repeatedly builds virtual graphs whose nodes are
+// constant-diameter sets of real nodes (sub-cliques, slack pairs,
+// loopholes). One round on such a virtual graph is simulated by O(dilation)
+// real rounds. Virtual returns a child network that multiplies every
+// charged round by the dilation factor and adds it to the parent's counter.
+package local
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"deltacoloring/internal/graph"
+)
+
+// Network wraps a graph with a shared round counter and phase tracing.
+type Network struct {
+	g        *graph.Graph
+	counter  *counter
+	dilation int
+	workers  int
+}
+
+type counter struct {
+	mu       sync.Mutex
+	rounds   int
+	messages int
+	spans    []Span
+	open     []int // indices into spans of currently open phases
+}
+
+// Span records the rounds consumed by one named phase, for reporting.
+type Span struct {
+	Name   string
+	Rounds int
+}
+
+// New creates a network over g with dilation 1 and sequential execution.
+func New(g *graph.Graph) *Network {
+	return &Network{g: g, counter: &counter{}, dilation: 1, workers: 1}
+}
+
+// Graph returns the underlying graph.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Rounds returns the total rounds charged so far (across the whole tree of
+// virtual networks sharing this counter).
+func (n *Network) Rounds() int {
+	n.counter.mu.Lock()
+	defer n.counter.mu.Unlock()
+	return n.counter.rounds
+}
+
+// Charge adds r rounds (times this network's dilation) to the counter.
+// It is how ball-collection steps account for their radius.
+func (n *Network) Charge(r int) {
+	if r <= 0 {
+		return
+	}
+	n.counter.mu.Lock()
+	defer n.counter.mu.Unlock()
+	n.counter.rounds += r * n.dilation
+	for _, i := range n.counter.open {
+		n.counter.spans[i].Rounds += r * n.dilation
+	}
+}
+
+// CountMessages adds n to the message counter (used by the message-passing
+// engine; the state engine conceptually sends one message per edge per
+// round but does not count them).
+func (n *Network) CountMessages(msgs int) {
+	n.counter.mu.Lock()
+	defer n.counter.mu.Unlock()
+	n.counter.messages += msgs
+}
+
+// Messages returns the number of messages recorded by the message-passing
+// engine.
+func (n *Network) Messages() int {
+	n.counter.mu.Lock()
+	defer n.counter.mu.Unlock()
+	return n.counter.messages
+}
+
+// Virtual returns a network over vg whose rounds are charged to this
+// network's counter multiplied by dilation. Use it when vg's nodes are
+// simulated by constant-diameter sets of real nodes.
+func (n *Network) Virtual(vg *graph.Graph, dilation int) *Network {
+	if dilation < 1 {
+		panic(fmt.Sprintf("local: dilation must be >= 1, got %d", dilation))
+	}
+	return &Network{g: vg, counter: n.counter, dilation: n.dilation * dilation, workers: n.workers}
+}
+
+// SetWorkers sets the number of goroutines used by Exchange (1 = fully
+// sequential). State functions must be pure, so results are identical for
+// any worker count; tests cross-check this.
+func (n *Network) SetWorkers(w int) {
+	if w < 1 {
+		w = runtime.NumCPU()
+	}
+	n.workers = w
+}
+
+// Phase opens a named accounting span; the returned func closes it.
+// Typical use: defer net.Phase("matching")().
+func (n *Network) Phase(name string) func() {
+	n.counter.mu.Lock()
+	idx := len(n.counter.spans)
+	n.counter.spans = append(n.counter.spans, Span{Name: name})
+	n.counter.open = append(n.counter.open, idx)
+	n.counter.mu.Unlock()
+	return func() {
+		n.counter.mu.Lock()
+		defer n.counter.mu.Unlock()
+		for i, j := range n.counter.open {
+			if j == idx {
+				n.counter.open = append(n.counter.open[:i], n.counter.open[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Spans returns the recorded phase spans in open order.
+func (n *Network) Spans() []Span {
+	n.counter.mu.Lock()
+	defer n.counter.mu.Unlock()
+	out := make([]Span, len(n.counter.spans))
+	copy(out, n.counter.spans)
+	return out
+}
+
+// Nbrs exposes the neighbor states of one vertex during an Exchange round.
+type Nbrs[S any] struct {
+	g  *graph.Graph
+	v  int
+	st []S
+}
+
+// Len returns the degree of the vertex.
+func (nb Nbrs[S]) Len() int { return len(nb.g.Neighbors(nb.v)) }
+
+// At returns the vertex index of the i-th neighbor.
+func (nb Nbrs[S]) At(i int) int { return nb.g.Neighbors(nb.v)[i] }
+
+// State returns the (previous-round) state of the i-th neighbor.
+func (nb Nbrs[S]) State(i int) S { return nb.st[nb.g.Neighbors(nb.v)[i]] }
+
+// Exchange runs one synchronous round: every vertex v computes
+// f(v, cur[v], neighbors' cur states) into a fresh state slice. One call
+// charges exactly one round. f must be pure (no shared mutation), which
+// also makes parallel execution deterministic.
+func Exchange[S any](n *Network, cur []S, f func(v int, self S, nbrs Nbrs[S]) S) []S {
+	if len(cur) != n.g.N() {
+		panic(fmt.Sprintf("local: state slice has %d entries, graph has %d vertices", len(cur), n.g.N()))
+	}
+	n.Charge(1)
+	next := make([]S, len(cur))
+	apply := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			next[v] = f(v, cur[v], Nbrs[S]{g: n.g, v: v, st: cur})
+		}
+	}
+	if n.workers <= 1 || len(cur) < 256 {
+		apply(0, len(cur))
+		return next
+	}
+	var wg sync.WaitGroup
+	chunk := (len(cur) + n.workers - 1) / n.workers
+	for lo := 0; lo < len(cur); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cur) {
+			hi = len(cur)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			apply(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return next
+}
+
+// Iterate runs Exchange until done reports true for every vertex or
+// maxRounds is exhausted, returning the final states and the number of
+// rounds executed. It returns an error if the round budget runs out, which
+// algorithm packages treat as a logic bug.
+func Iterate[S any](n *Network, cur []S, maxRounds int,
+	f func(v int, self S, nbrs Nbrs[S]) S, done func(v int, s S) bool) ([]S, int, error) {
+	for r := 0; r < maxRounds; r++ {
+		allDone := true
+		for v, s := range cur {
+			if !done(v, s) {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return cur, r, nil
+		}
+		cur = Exchange(n, cur, f)
+	}
+	for v, s := range cur {
+		if !done(v, s) {
+			return cur, maxRounds, fmt.Errorf("local: vertex %d not done after %d rounds", v, maxRounds)
+		}
+	}
+	return cur, maxRounds, nil
+}

@@ -1,0 +1,306 @@
+package local
+
+import (
+	"testing"
+
+	"deltacoloring/internal/graph"
+)
+
+// bfsByExchange computes hop distances from vertex 0 using one Exchange per
+// BFS level; it doubles as the canonical example of the state engine.
+func bfsByExchange(net *Network, diamBound int) []int {
+	g := net.Graph()
+	dist := make([]int, g.N())
+	for v := range dist {
+		dist[v] = -1
+	}
+	dist[0] = 0
+	for r := 0; r < diamBound; r++ {
+		dist = Exchange(net, dist, func(v int, self int, nbrs Nbrs[int]) int {
+			if self >= 0 {
+				return self
+			}
+			for i := 0; i < nbrs.Len(); i++ {
+				if d := nbrs.State(i); d >= 0 {
+					return d + 1
+				}
+			}
+			return -1
+		})
+	}
+	return dist
+}
+
+func TestExchangeBFS(t *testing.T) {
+	g := graph.Cycle(9)
+	net := New(g)
+	dist := bfsByExchange(net, 5)
+	for v := 0; v < g.N(); v++ {
+		if want := g.Dist(0, v); dist[v] != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	if net.Rounds() != 5 {
+		t.Fatalf("rounds = %d, want 5", net.Rounds())
+	}
+}
+
+func TestExchangeParallelMatchesSequential(t *testing.T) {
+	g := graph.Torus(20, 20)
+	seq := New(g)
+	par := New(g)
+	par.SetWorkers(8)
+	d1 := bfsByExchange(seq, 25)
+	d2 := bfsByExchange(par, 25)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("parallel execution diverged at vertex %d: %d vs %d", v, d1[v], d2[v])
+		}
+	}
+	if seq.Rounds() != par.Rounds() {
+		t.Fatalf("round counts diverged: %d vs %d", seq.Rounds(), par.Rounds())
+	}
+}
+
+func TestChargeAndVirtualDilation(t *testing.T) {
+	g := graph.Cycle(4)
+	net := New(g)
+	net.Charge(3)
+	if net.Rounds() != 3 {
+		t.Fatalf("rounds = %d, want 3", net.Rounds())
+	}
+	vg := graph.Complete(3)
+	vnet := net.Virtual(vg, 4)
+	vnet.Charge(2)
+	if net.Rounds() != 3+8 {
+		t.Fatalf("rounds = %d, want 11", net.Rounds())
+	}
+	// Nested virtual networks multiply dilations.
+	vvnet := vnet.Virtual(vg, 2)
+	vvnet.Charge(1)
+	if net.Rounds() != 11+8 {
+		t.Fatalf("rounds = %d, want 19", net.Rounds())
+	}
+	// Exchange on a virtual network charges dilation rounds.
+	st := make([]int, vg.N())
+	Exchange(vnet, st, func(v int, s int, nb Nbrs[int]) int { return s })
+	if net.Rounds() != 19+4 {
+		t.Fatalf("rounds = %d, want 23", net.Rounds())
+	}
+	if net.Charge(0); net.Rounds() != 23 {
+		t.Fatal("Charge(0) changed the counter")
+	}
+}
+
+func TestPhaseSpans(t *testing.T) {
+	net := New(graph.Cycle(5))
+	endA := net.Phase("a")
+	net.Charge(2)
+	endB := net.Phase("b")
+	net.Charge(3) // counts to both open spans
+	endB()
+	net.Charge(1) // only to a
+	endA()
+	net.Charge(5) // to none
+	spans := net.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %v", spans)
+	}
+	if spans[0].Name != "a" || spans[0].Rounds != 6 {
+		t.Fatalf("span a = %+v, want 6 rounds", spans[0])
+	}
+	if spans[1].Name != "b" || spans[1].Rounds != 3 {
+		t.Fatalf("span b = %+v, want 3 rounds", spans[1])
+	}
+}
+
+func TestIterate(t *testing.T) {
+	g := graph.Path(10)
+	net := New(g)
+	dist := make([]int, g.N())
+	for v := range dist {
+		dist[v] = -1
+	}
+	dist[0] = 0
+	final, rounds, err := Iterate(net, dist, 100,
+		func(v int, self int, nbrs Nbrs[int]) int {
+			if self >= 0 {
+				return self
+			}
+			for i := 0; i < nbrs.Len(); i++ {
+				if d := nbrs.State(i); d >= 0 {
+					return d + 1
+				}
+			}
+			return -1
+		},
+		func(v int, s int) bool { return s >= 0 })
+	if err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	if rounds != 9 {
+		t.Fatalf("rounds = %d, want 9", rounds)
+	}
+	for v, d := range final {
+		if d != v {
+			t.Fatalf("dist[%d] = %d", v, d)
+		}
+	}
+}
+
+func TestIterateBudgetExhausted(t *testing.T) {
+	net := New(graph.Path(10))
+	st := make([]int, 10)
+	_, _, err := Iterate(net, st, 3,
+		func(v int, s int, nb Nbrs[int]) int { return s },
+		func(v int, s int) bool { return false })
+	if err == nil {
+		t.Fatal("expected budget-exhausted error")
+	}
+}
+
+// flood is a Proc that floods a token from vertex 0 and terminates when it
+// has seen the token; it mirrors bfsByExchange on the message engine.
+type flood struct {
+	v    int
+	g    *graph.Graph
+	seen bool
+	dist int
+}
+
+func (f *flood) Init(v int, net *Network) []Outgoing {
+	f.v = v
+	f.g = net.Graph()
+	if v == 0 {
+		f.seen = true
+		return f.broadcast(0)
+	}
+	return nil
+}
+
+func (f *flood) broadcast(d int) []Outgoing {
+	outs := make([]Outgoing, 0, f.g.Degree(f.v))
+	for _, w := range f.g.Neighbors(f.v) {
+		outs = append(outs, Outgoing{To: w, Payload: d + 1})
+	}
+	return outs
+}
+
+func (f *flood) Step(round int, inbox []Message) ([]Outgoing, bool) {
+	if f.seen {
+		return nil, true
+	}
+	for _, m := range inbox {
+		d, ok := m.Payload.(int)
+		if !ok {
+			continue
+		}
+		f.seen = true
+		f.dist = d
+		return f.broadcast(d), true
+	}
+	return nil, false
+}
+
+func TestRunProcsFlood(t *testing.T) {
+	g := graph.Cycle(12)
+	net := New(g)
+	procs := make([]Proc, g.N())
+	fs := make([]*flood, g.N())
+	for v := range procs {
+		fs[v] = &flood{}
+		procs[v] = fs[v]
+	}
+	if err := RunProcs(net, procs, 100); err != nil {
+		t.Fatalf("RunProcs: %v", err)
+	}
+	for v := 1; v < g.N(); v++ {
+		if want := g.Dist(0, v); fs[v].dist != want {
+			t.Fatalf("proc dist[%d] = %d, want %d", v, fs[v].dist, want)
+		}
+	}
+}
+
+// badSender sends to a non-neighbor to exercise the model check.
+type badSender struct{}
+
+func (badSender) Init(v int, net *Network) []Outgoing {
+	if v == 0 {
+		return []Outgoing{{To: 2, Payload: nil}} // 0 and 2 non-adjacent in P4
+	}
+	return nil
+}
+
+func (badSender) Step(round int, inbox []Message) ([]Outgoing, bool) { return nil, true }
+
+func TestRunProcsRejectsNonNeighborSend(t *testing.T) {
+	g := graph.Path(4)
+	net := New(g)
+	procs := make([]Proc, g.N())
+	for v := range procs {
+		procs[v] = badSender{}
+	}
+	if err := RunProcs(net, procs, 10); err == nil {
+		t.Fatal("expected non-neighbor send to be rejected")
+	}
+}
+
+type never struct{}
+
+func (never) Init(v int, net *Network) []Outgoing         { return nil }
+func (never) Step(r int, in []Message) ([]Outgoing, bool) { return nil, false }
+
+func TestRunProcsRoundLimit(t *testing.T) {
+	g := graph.Path(3)
+	procs := []Proc{never{}, never{}, never{}}
+	if err := RunProcs(New(g), procs, 5); err == nil {
+		t.Fatal("expected round-limit error")
+	}
+}
+
+func TestRunProcsParallelMatchesSequential(t *testing.T) {
+	// A graph big enough (>= 256 nodes) to trigger the worker-pool path.
+	g := graph.Torus(20, 20)
+	runFlood := func(workers int) []int {
+		net := New(g)
+		net.SetWorkers(workers)
+		procs := make([]Proc, g.N())
+		fs := make([]*flood, g.N())
+		for v := range procs {
+			fs[v] = &flood{}
+			procs[v] = fs[v]
+		}
+		if err := RunProcs(net, procs, 200); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := make([]int, g.N())
+		for v := range fs {
+			out[v] = fs[v].dist
+		}
+		return out
+	}
+	seq := runFlood(1)
+	par := runFlood(8)
+	for v := range seq {
+		if seq[v] != par[v] {
+			t.Fatalf("parallel proc engine diverged at %d: %d vs %d", v, seq[v], par[v])
+		}
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	net := New(graph.Cycle(4))
+	if net.Messages() != 0 {
+		t.Fatal("fresh network has messages")
+	}
+	net.CountMessages(7)
+	if net.Messages() != 7 {
+		t.Fatalf("messages = %d", net.Messages())
+	}
+	// Virtual networks share the counter.
+	vnet := net.Virtual(graph.Cycle(3), 2)
+	vnet.CountMessages(3)
+	if net.Messages() != 10 {
+		t.Fatalf("messages = %d, want 10", net.Messages())
+	}
+}

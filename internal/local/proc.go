@@ -1,0 +1,133 @@
+package local
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file contains the explicit message-passing engine: per-node state
+// machines with inboxes and outboxes, executed with a goroutine per worker
+// and a barrier per round. It is semantically equivalent to the Exchange
+// engine (messages are just pushed state); the flagship subroutines are
+// implemented on both engines and cross-validated in tests.
+
+// Message is a payload received from a neighbor.
+type Message struct {
+	// From is the sending vertex.
+	From int
+	// Payload is the algorithm-specific content.
+	Payload any
+}
+
+// Outgoing is a payload addressed to a neighbor.
+type Outgoing struct {
+	// To is the receiving vertex; it must be a neighbor of the sender
+	// (the LOCAL model has no other channels).
+	To int
+	// Payload is the algorithm-specific content.
+	Payload any
+}
+
+// Proc is the per-node state machine run by RunProcs.
+type Proc interface {
+	// Init returns the messages the node sends in round 1.
+	Init(v int, net *Network) []Outgoing
+	// Step consumes the messages received in round r and returns the
+	// messages for round r+1 plus whether the node has terminated. A
+	// terminated node sends nothing and receives nothing further.
+	Step(round int, inbox []Message) (out []Outgoing, done bool)
+}
+
+// RunProcs executes the node programs until every node terminates or
+// maxRounds is exceeded (an error). Rounds are charged on net. Messages to
+// non-neighbors are an error: they would violate the LOCAL model.
+func RunProcs(net *Network, procs []Proc, maxRounds int) error {
+	g := net.Graph()
+	if len(procs) != g.N() {
+		return fmt.Errorf("local: %d procs for %d vertices", len(procs), g.N())
+	}
+	done := make([]bool, g.N())
+	inboxes := make([][]Message, g.N())
+	pending := make([][]Outgoing, g.N())
+
+	// Round 1 sends.
+	for v, p := range procs {
+		pending[v] = p.Init(v, net)
+	}
+	for round := 1; round <= maxRounds; round++ {
+		// Deliver.
+		for v := range inboxes {
+			inboxes[v] = inboxes[v][:0]
+		}
+		delivered := 0
+		for v, outs := range pending {
+			for _, o := range outs {
+				if !g.HasEdge(v, o.To) {
+					return fmt.Errorf("local: round %d: vertex %d sent to non-neighbor %d", round, v, o.To)
+				}
+				inboxes[o.To] = append(inboxes[o.To], Message{From: v, Payload: o.Payload})
+				delivered++
+			}
+			pending[v] = nil
+		}
+		net.CountMessages(delivered)
+		// Deterministic inbox order.
+		for v := range inboxes {
+			sort.SliceStable(inboxes[v], func(i, j int) bool { return inboxes[v][i].From < inboxes[v][j].From })
+		}
+		net.Charge(1)
+
+		// Step all live nodes (parallel when configured).
+		var mu sync.Mutex
+		step := func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if done[v] {
+					continue
+				}
+				out, fin := procs[v].Step(round, inboxes[v])
+				mu.Lock()
+				pending[v] = out
+				if fin {
+					done[v] = true
+				}
+				mu.Unlock()
+			}
+		}
+		if net.workers <= 1 || g.N() < 256 {
+			step(0, g.N())
+		} else {
+			var wg sync.WaitGroup
+			chunk := (g.N() + net.workers - 1) / net.workers
+			for lo := 0; lo < g.N(); lo += chunk {
+				hi := lo + chunk
+				if hi > g.N() {
+					hi = g.N()
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					step(lo, hi)
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		allDone := true
+		for _, d := range done {
+			if !d {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return nil
+		}
+	}
+	n := 0
+	for _, d := range done {
+		if !d {
+			n++
+		}
+	}
+	return fmt.Errorf("local: %d nodes still running after %d rounds", n, maxRounds)
+}

@@ -1,0 +1,272 @@
+package loophole
+
+import (
+	"deltacoloring/internal/acd"
+	"deltacoloring/internal/graph"
+)
+
+// Classification is the hard/easy split of an ACD's cliques (Definition 8)
+// together with witness loopholes.
+type Classification struct {
+	// Easy[c] reports whether clique c intersects a loophole of <= 6
+	// vertices.
+	Easy []bool
+	// Witness[c] is a loophole intersecting clique c (nil for hard
+	// cliques).
+	Witness []*Loophole
+}
+
+// Classify determines, for every almost clique of the decomposition,
+// whether it is hard or easy, producing a witness loophole for each easy
+// clique. It runs the structured case analysis below instead of brute-force
+// cycle enumeration; the cases are exactly the contrapositives of the
+// Lemma 9 / Lemma 10 proofs and are exhaustive for cycles of <= 6 vertices
+// intersecting an almost clique of a valid ACD:
+//
+//	(i)    a member with degree < Δ                    → singleton loophole
+//	(ii)   two non-adjacent members                    → 4-cycle inside C
+//	(iii)  an outsider with two neighbors in C         → 4-cycle via the outsider
+//	(iv-a) members u1 != u2 whose external partners are adjacent
+//	                                                   → 4-cycle u1-a-b-u2
+//	(iv-a3) partners of distinct members joined by an outside path of
+//	        length 3                                   → 6-cycle
+//	(iv-b) two partners of one member with a common outside neighbor
+//	                                                   → 4-cycle (checked non-clique)
+//	(iv-b4) two partners of one member joined by an outside path of
+//	        length 4                                   → 6-cycle (checked non-clique)
+//
+// Any cycle of <= 6 vertices intersecting C either touches 3 or more
+// members (then consecutive outsiders yield case (iii)), exactly 2 members
+// (cases (iv-a)/(iv-a3), using that members are adjacent once (ii) fails),
+// or exactly 1 member (cases (iv-b)/(iv-b4)).
+func Classify(g *graph.Graph, a *acd.ACD) *Classification {
+	delta := g.MaxDegree()
+	cl := &Classification{
+		Easy:    make([]bool, len(a.Cliques)),
+		Witness: make([]*Loophole, len(a.Cliques)),
+	}
+	for ci := range a.Cliques {
+		cl.classifyClique(g, a, delta, ci)
+	}
+	return cl
+}
+
+func (cl *Classification) mark(ci int, l *Loophole) {
+	cl.Easy[ci] = true
+	if cl.Witness[ci] == nil {
+		cl.Witness[ci] = l
+	}
+}
+
+func (cl *Classification) classifyClique(g *graph.Graph, a *acd.ACD, delta, ci int) {
+	members := a.Cliques[ci]
+	inC := func(v int) bool { return a.CliqueOf[v] == ci }
+
+	// (i) degree deficiency.
+	for _, v := range members {
+		if g.Degree(v) < delta {
+			cl.mark(ci, newSingleton(v))
+			return
+		}
+	}
+	// (ii) non-adjacent member pair: witness 4-cycle u1-u3-u2-u4 through
+	// common member neighbors (Lemma 9, property 1).
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			u1, u2 := members[i], members[j]
+			if g.HasEdge(u1, u2) {
+				continue
+			}
+			if c := witnessNonAdjacent(g, members, u1, u2); c != nil {
+				cl.mark(ci, c)
+				return
+			}
+			// No common-member 4-cycle (tiny AC): fall back to exact search.
+			if l := FindForVertex(g, delta, u1); l != nil {
+				cl.mark(ci, l)
+				return
+			}
+		}
+	}
+	// (iii) outsider with two neighbors in C: witness u-w-v-c1 with c1 in C
+	// not adjacent to w (Lemma 9, property 3).
+	type ext struct{ owner, partner int }
+	var partners []ext
+	nbrsInC := map[int][]int{} // outsider -> members adjacent to it
+	for _, v := range members {
+		for _, w := range g.Neighbors(v) {
+			if !inC(w) {
+				nbrsInC[w] = append(nbrsInC[w], v)
+				partners = append(partners, ext{owner: v, partner: w})
+			}
+		}
+	}
+	for w, owners := range nbrsInC {
+		if len(owners) < 2 {
+			continue
+		}
+		u, v := owners[0], owners[1]
+		for _, c1 := range members {
+			if c1 != u && c1 != v && !g.HasEdge(c1, w) {
+				cl.mark(ci, newCycle([]int{u, w, v, c1}))
+				return
+			}
+		}
+	}
+	// (iv-a) adjacent partners of distinct members: 4-cycle u1-a-b-u2.
+	partnerOwners := map[int]int{} // partner vertex -> one owner
+	for _, p := range partners {
+		partnerOwners[p.partner] = p.owner
+	}
+	for _, p := range partners {
+		for _, b := range g.Neighbors(p.partner) {
+			if inC(b) || b == p.partner {
+				continue
+			}
+			owner2, ok := partnerOwners[b]
+			if !ok || owner2 == p.owner {
+				continue
+			}
+			cl.mark(ci, newCycle([]int{p.owner, p.partner, b, owner2}))
+			return
+		}
+	}
+	// (iv-a3) partners of distinct members joined by an outside length-3
+	// path: 6-cycle u1-a-x-y-b-u2. Tag every outside vertex adjacent to a
+	// partner with up to three (partner, owner) sources, then scan outside
+	// edges between tagged vertices.
+	type src struct{ partner, owner int }
+	reach := map[int][]src{}
+	for _, p := range partners {
+		for _, x := range g.Neighbors(p.partner) {
+			if inC(x) {
+				continue
+			}
+			if len(reach[x]) < 3 {
+				reach[x] = append(reach[x], src{partner: p.partner, owner: p.owner})
+			}
+		}
+	}
+	for x, sx := range reach {
+		for _, y := range g.Neighbors(x) {
+			if inC(y) || y == x {
+				continue
+			}
+			sy, ok := reach[y]
+			if !ok {
+				continue
+			}
+			for _, s1 := range sx {
+				for _, s2 := range sy {
+					if s1.owner == s2.owner {
+						continue
+					}
+					verts := []int{s1.owner, s1.partner, x, y, s2.partner, s2.owner}
+					if distinct(verts) {
+						cl.mark(ci, newCycle(verts))
+						return
+					}
+				}
+			}
+		}
+	}
+	// (iv-b) two partners of one member with a common outside neighbor:
+	// 4-cycle v-a-x-b (explicit non-clique check; K4s are skipped).
+	byOwner := map[int][]int{}
+	for _, p := range partners {
+		byOwner[p.owner] = append(byOwner[p.owner], p.partner)
+	}
+	for owner, ps := range byOwner {
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				a1, b1 := ps[i], ps[j]
+				for _, x := range g.Neighbors(a1) {
+					if inC(x) || x == owner || x == b1 || !g.HasEdge(x, b1) {
+						continue
+					}
+					cand := []int{owner, a1, x, b1}
+					if !g.IsClique(cand) {
+						cl.mark(ci, newCycle(cand))
+						return
+					}
+				}
+			}
+		}
+	}
+	// (iv-b4) two partners of one member joined by an outside length-4
+	// path: 6-cycle v-a-b-c-d-e (explicit non-clique check).
+	for owner, ps := range byOwner {
+		for i := 0; i < len(ps); i++ {
+			for j := 0; j < len(ps); j++ {
+				if i == j {
+					continue
+				}
+				if c := sixViaOnePartnerPair(g, inC, owner, ps[i], ps[j]); c != nil {
+					cl.mark(ci, c)
+					return
+				}
+			}
+		}
+	}
+}
+
+// witnessNonAdjacent builds the Lemma 9 (property 1) 4-cycle for two
+// non-adjacent members: common member neighbors u3, u4 that are adjacent.
+func witnessNonAdjacent(g *graph.Graph, members []int, u1, u2 int) *Loophole {
+	var common []int
+	for _, u3 := range members {
+		if u3 != u1 && u3 != u2 && g.HasEdge(u3, u1) && g.HasEdge(u3, u2) {
+			common = append(common, u3)
+		}
+	}
+	for i := 0; i < len(common); i++ {
+		for j := i + 1; j < len(common); j++ {
+			// Cycle u1-u3-u2-u4; non-clique since u1 and u2 are not
+			// adjacent. The cross pair u3-u4 need not be adjacent.
+			return newCycle([]int{u1, common[i], u2, common[j]})
+		}
+	}
+	return nil
+}
+
+// sixViaOnePartnerPair searches a path a-b-c-d-e outside the clique between
+// two partners a, e of the same member.
+func sixViaOnePartnerPair(g *graph.Graph, inC func(int) bool, owner, a, e int) *Loophole {
+	if a == e {
+		return nil
+	}
+	for _, b := range g.Neighbors(a) {
+		if inC(b) || b == owner || b == a || b == e {
+			continue
+		}
+		for _, c := range g.Neighbors(b) {
+			if inC(c) || c == owner || c == a || c == b || c == e {
+				continue
+			}
+			for _, d := range g.Neighbors(c) {
+				if inC(d) || d == owner || d == a || d == b || d == c || d == e {
+					continue
+				}
+				if !g.HasEdge(d, e) {
+					continue
+				}
+				cand := []int{owner, a, b, c, d, e}
+				if !g.IsClique(cand) {
+					return newCycle(cand)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func distinct(vs []int) bool {
+	for i := range vs {
+		for j := i + 1; j < len(vs); j++ {
+			if vs[i] == vs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

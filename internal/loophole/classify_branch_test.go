@@ -1,0 +1,197 @@
+package loophole
+
+// Targeted tests for the rarer branches of Classify's case analysis, each
+// on a hand-built instance where exactly that pattern is the first to
+// apply. The instances use hand-assembled ACDs (Classify consumes only the
+// clique structure, so validity of ε is irrelevant here) and are
+// cross-checked against the exhaustive detector.
+
+import (
+	"testing"
+
+	"deltacoloring/internal/acd"
+	"deltacoloring/internal/graph"
+)
+
+// k8WithStubs builds K8 where member 0 has two external stubs (8 and 9)
+// and members 1..7 have two external leaf stubs each, so every member has
+// degree 9 = Δ. The caller wires additional structure among the stubs.
+func k8WithStubs(extra func(b *graph.Builder)) (*graph.Graph, *acd.ACD) {
+	// Vertices: 0..7 clique, 8..9 partners of 0, 10..12 path/aux vertices,
+	// 13..26 leaf stubs (two per member 1..7).
+	b := graph.NewBuilder(27)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(0, 8)
+	b.AddEdge(0, 9)
+	for i := 1; i < 8; i++ {
+		b.AddEdge(i, 13+2*(i-1))
+		b.AddEdge(i, 13+2*(i-1)+1)
+	}
+	extra(b)
+	g := b.MustBuild()
+	cliqueOf := make([]int, g.N())
+	for v := range cliqueOf {
+		if v < 8 {
+			cliqueOf[v] = 0
+		} else {
+			cliqueOf[v] = acd.Sparse
+		}
+	}
+	a := &acd.ACD{Eps: 0.5, Delta: g.MaxDegree(), CliqueOf: cliqueOf,
+		Cliques: [][]int{{0, 1, 2, 3, 4, 5, 6, 7}}}
+	return g, a
+}
+
+func requireEasyWithValidWitness(t *testing.T, g *graph.Graph, a *acd.ACD, wantSize int) *Loophole {
+	t.Helper()
+	cl := Classify(g, a)
+	if !cl.Easy[0] {
+		t.Fatal("clique misclassified hard")
+	}
+	w := cl.Witness[0]
+	if w == nil {
+		t.Fatal("no witness")
+	}
+	if err := w.Validate(g, g.MaxDegree()); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Verts) != wantSize {
+		t.Fatalf("witness %v has %d vertices, want %d", w.Verts, len(w.Verts), wantSize)
+	}
+	// The exhaustive detector must agree that a member is in a loophole.
+	found := false
+	for _, v := range a.Cliques[0] {
+		if FindForVertex(g, g.MaxDegree(), v) != nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("exhaustive detector disagrees with Classify")
+	}
+	return w
+}
+
+// Case (iv-b): two partners of one member share an outside neighbor —
+// 4-cycle 0-8-x-9.
+func TestClassifyCaseIVbFourCycle(t *testing.T) {
+	g, a := k8WithStubs(func(b *graph.Builder) {
+		b.AddEdge(8, 10)
+		b.AddEdge(9, 10) // 10 is the common outside neighbor
+		// Pad degrees of aux vertices so Δ stays 9 (not needed: Δ already 9).
+	})
+	w := requireEasyWithValidWitness(t, g, a, 4)
+	has := map[int]bool{}
+	for _, v := range w.Verts {
+		has[v] = true
+	}
+	if !has[0] || !has[8] || !has[9] || !has[10] {
+		t.Fatalf("witness %v should be the 0-8-10-9 cycle", w.Verts)
+	}
+}
+
+// Case (iv-b4): two partners of one member joined by an outside path of
+// length 4 — 6-cycle 0-8-10-11-12-9.
+func TestClassifyCaseIVb4SixCycle(t *testing.T) {
+	g, a := k8WithStubs(func(b *graph.Builder) {
+		b.AddEdge(8, 10)
+		b.AddEdge(10, 11)
+		b.AddEdge(11, 12)
+		b.AddEdge(12, 9)
+	})
+	w := requireEasyWithValidWitness(t, g, a, 6)
+	has := map[int]bool{}
+	for _, v := range w.Verts {
+		has[v] = true
+	}
+	for _, v := range []int{0, 8, 9, 10, 11, 12} {
+		if !has[v] {
+			t.Fatalf("witness %v should be the 6-cycle through the path", w.Verts)
+		}
+	}
+}
+
+// Case (iv-a3): partners of two distinct members joined by an outside
+// length-3 path — 6-cycle 1-13-10-11-8-0 (partner 13 of member 1, partner
+// 8 of member 0).
+func TestClassifyCaseIVa3SixCycle(t *testing.T) {
+	g, a := k8WithStubs(func(b *graph.Builder) {
+		b.AddEdge(13, 10)
+		b.AddEdge(10, 11)
+		b.AddEdge(11, 8)
+	})
+	requireEasyWithValidWitness(t, g, a, 6)
+}
+
+// Case (ii): two non-adjacent members of an AC — witness 4-cycle through
+// two common member neighbors. Built as K8 minus the edge {0,1} with the
+// degrees patched by external stubs.
+func TestClassifyCaseIINonAdjacentMembers(t *testing.T) {
+	b := graph.NewBuilder(12)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			if u == 0 && v == 1 {
+				continue
+			}
+			b.AddEdge(u, v)
+		}
+	}
+	// Patch degrees: members 0 and 1 get three stubs, the rest get two, so
+	// every member has degree 9.
+	b.AddEdge(0, 8)
+	b.AddEdge(0, 9)
+	b.AddEdge(0, 10)
+	b.AddEdge(1, 8)
+	b.AddEdge(1, 9)
+	b.AddEdge(1, 11)
+	for i := 2; i < 8; i++ {
+		b.AddEdge(i, 8)
+		b.AddEdge(i, 9)
+	}
+	g := b.MustBuild()
+	// Δ: members have 9; stubs 8 and 9 have 8 each.
+	cliqueOf := []int{0, 0, 0, 0, 0, 0, 0, 0, acd.Sparse, acd.Sparse, acd.Sparse, acd.Sparse}
+	a := &acd.ACD{Eps: 0.5, Delta: g.MaxDegree(), CliqueOf: cliqueOf,
+		Cliques: [][]int{{0, 1, 2, 3, 4, 5, 6, 7}}}
+	cl := Classify(g, a)
+	if !cl.Easy[0] {
+		t.Fatal("non-clique AC misclassified hard")
+	}
+	if err := cl.Witness[0].Validate(g, g.MaxDegree()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewExternalSlackValidates(t *testing.T) {
+	g := graph.Complete(4)
+	l := NewExternalSlack(0)
+	// Vertex 0 has full degree, but external-slack singletons are
+	// contextually valid.
+	if err := l.Validate(g, 3); err != nil {
+		t.Fatal(err)
+	}
+	if newSingleton(0).Validate(g, 3) == nil {
+		t.Fatal("plain full-degree singleton should be invalid")
+	}
+}
+
+func TestFindAll(t *testing.T) {
+	g := graph.Star(5) // every vertex degree-deficient or center full
+	ws := FindAll(g, 4)
+	if len(ws) != 5 {
+		t.Fatalf("FindAll returned %d entries", len(ws))
+	}
+	for v := 1; v < 5; v++ {
+		if ws[v] == nil {
+			t.Fatalf("leaf %d should be a singleton loophole", v)
+		}
+	}
+	// The center has full degree and no cycles exist: no loophole.
+	if ws[0] != nil {
+		t.Fatalf("center misreported: %v", ws[0].Verts)
+	}
+}

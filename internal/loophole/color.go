@@ -1,0 +1,138 @@
+package loophole
+
+import (
+	"fmt"
+
+	"deltacoloring/internal/acd"
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/graph"
+)
+
+// Complete extends the partial coloring to the loophole's vertices using
+// colors [0, delta), by brute force over the constant-size vertex set
+// (the paper's "bruteforce in O(1) rounds", Algorithm 3 line 8 — a loophole
+// has diameter <= 3, so gathering it is O(1) rounds; the caller charges
+// them). It fails only if no extension exists, which the deg-list
+// colorability of loopholes (Lemma 7) rules out when the loophole is
+// colored last among its neighbors.
+func Complete(g *graph.Graph, c *coloring.Partial, l *Loophole, delta int) error {
+	order := l.Cycle
+	if len(order) == 0 {
+		order = l.Verts
+	}
+	var uncolored []int
+	for _, v := range order {
+		if !c.Colored(v) {
+			uncolored = append(uncolored, v)
+		}
+	}
+	if len(uncolored) == 0 {
+		return nil
+	}
+	if !backtrack(g, c, uncolored, 0, delta) {
+		return fmt.Errorf("loophole: no %d-coloring extension for %v", delta, l.Verts)
+	}
+	return nil
+}
+
+func backtrack(g *graph.Graph, c *coloring.Partial, order []int, i, delta int) bool {
+	if i == len(order) {
+		return true
+	}
+	v := order[i]
+	avail := coloring.Available(g, c, v, delta)
+	for _, col := range avail.Colors() {
+		c.Colors[v] = col
+		if backtrack(g, c, order, i+1, delta) {
+			return true
+		}
+		c.Colors[v] = coloring.None
+	}
+	return false
+}
+
+// ExistsListColoring reports whether the graph admits a proper coloring
+// where each vertex uses a color from its list (exhaustive backtracking;
+// test-sized graphs only). It is the checking primitive behind the Lemma 7
+// tests: non-clique even cycles are deg-list colorable, odd cycles and
+// cliques are not.
+func ExistsListColoring(g *graph.Graph, lists []coloring.Palette) bool {
+	c := coloring.NewPartial(g.N())
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == g.N() {
+			return true
+		}
+		for _, col := range lists[v].Colors() {
+			ok := true
+			for _, w := range g.Neighbors(v) {
+				if c.Colors[w] == col {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			c.Colors[v] = col
+			if rec(v + 1) {
+				return true
+			}
+			c.Colors[v] = coloring.None
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// VerifyHard checks the Lemma 9 structure for every clique the
+// classification declares hard: it is a true clique, every member has
+// degree exactly Δ, and no outsider has two neighbors in it. The Δ-coloring
+// pipeline calls this as a safety net, since the slack-triad construction
+// silently depends on these properties.
+func VerifyHard(g *graph.Graph, a *acd.ACD, cl *Classification) error {
+	delta := g.MaxDegree()
+	for ci, members := range a.Cliques {
+		if cl.Easy[ci] {
+			if cl.Witness[ci] == nil {
+				return fmt.Errorf("loophole: easy clique %d has no witness", ci)
+			}
+			if err := cl.Witness[ci].Validate(g, delta); err != nil {
+				return fmt.Errorf("loophole: clique %d witness: %w", ci, err)
+			}
+			touches := false
+			for _, v := range cl.Witness[ci].Verts {
+				if a.CliqueOf[v] == ci {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				return fmt.Errorf("loophole: clique %d witness %v does not intersect it", ci, cl.Witness[ci].Verts)
+			}
+			continue
+		}
+		if !g.IsClique(members) {
+			return fmt.Errorf("loophole: hard clique %d is not a clique (Lemma 9.1)", ci)
+		}
+		for _, v := range members {
+			if g.Degree(v) != delta {
+				return fmt.Errorf("loophole: hard clique %d member %d has degree %d != Δ (Lemma 9.2)", ci, v, g.Degree(v))
+			}
+		}
+		counts := map[int]int{}
+		for _, v := range members {
+			for _, w := range g.Neighbors(v) {
+				if a.CliqueOf[w] != ci {
+					counts[w]++
+				}
+			}
+		}
+		for w, cnt := range counts {
+			if cnt > 1 {
+				return fmt.Errorf("loophole: outsider %d has %d neighbors in hard clique %d (Lemma 9.3)", w, cnt, ci)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package loophole implements the paper's loophole machinery (Definition 6,
+// Lemma 7, Definition 8): detection of constant-size slack sources, the
+// hard/easy classification of almost cliques, and brute-force completion of
+// partial colorings on loopholes.
+//
+// A loophole is (1) a vertex of degree < Δ, or (2) an even-length cycle on
+// at most 6 vertices whose vertex set does not induce a clique. An almost
+// clique is *hard* when no loophole of at most 6 vertices intersects it
+// (Definition 8), which forces the strong structure of Lemma 9: the AC is a
+// true clique, every member has degree exactly Δ, and no outsider has two
+// neighbors in it.
+//
+// Two detectors are provided. FindForVertex enumerates cycles through one
+// vertex and is exact but O(Δ^4)-ish per vertex — fine for tests and small
+// graphs. Classify exploits the ACD structure to classify every clique and
+// produce witness loopholes in near-linear time; its case analysis (see
+// classify.go) is exactly the contrapositive of the Lemma 9/Lemma 10 proofs.
+package loophole
+
+import (
+	"fmt"
+	"sort"
+
+	"deltacoloring/internal/graph"
+)
+
+// Loophole is a constant-size slack source.
+type Loophole struct {
+	// Verts lists the loophole's vertices, sorted. A single vertex means a
+	// degree-deficient loophole; 4 or 6 vertices mean an even non-clique
+	// cycle given in cycle order by Cycle.
+	Verts []int
+	// Cycle lists the vertices in cycle order (nil for singletons).
+	Cycle []int
+	// ExternalSlack marks a singleton whose slack comes from an uncolored
+	// neighbor outside the current instance rather than a degree deficit —
+	// the extended loophole notion of the randomized post-shattering phase
+	// (Section 4, Step 6).
+	ExternalSlack bool
+}
+
+func newSingleton(v int) *Loophole {
+	return &Loophole{Verts: []int{v}}
+}
+
+// NewExternalSlack returns a singleton loophole backed by out-of-instance
+// slack. Its validity is contextual (the caller guarantees an uncolored
+// neighbor outside the instance), so Validate only checks the shape.
+func NewExternalSlack(v int) *Loophole {
+	return &Loophole{Verts: []int{v}, ExternalSlack: true}
+}
+
+func newCycle(cycle []int) *Loophole {
+	vs := append([]int(nil), cycle...)
+	sort.Ints(vs)
+	return &Loophole{Verts: vs, Cycle: append([]int(nil), cycle...)}
+}
+
+// Validate checks that l is a genuine loophole of g with respect to maximum
+// degree delta.
+func (l *Loophole) Validate(g *graph.Graph, delta int) error {
+	switch len(l.Verts) {
+	case 1:
+		if !l.ExternalSlack && g.Degree(l.Verts[0]) >= delta {
+			return fmt.Errorf("loophole: vertex %d has full degree %d", l.Verts[0], delta)
+		}
+		return nil
+	case 4, 6:
+		if len(l.Cycle) != len(l.Verts) {
+			return fmt.Errorf("loophole: cycle order missing")
+		}
+		seen := map[int]bool{}
+		for i, v := range l.Cycle {
+			if seen[v] {
+				return fmt.Errorf("loophole: repeated vertex %d", v)
+			}
+			seen[v] = true
+			w := l.Cycle[(i+1)%len(l.Cycle)]
+			if !g.HasEdge(v, w) {
+				return fmt.Errorf("loophole: missing cycle edge {%d,%d}", v, w)
+			}
+		}
+		if g.IsClique(l.Verts) {
+			return fmt.Errorf("loophole: cycle %v induces a clique", l.Verts)
+		}
+		return nil
+	default:
+		return fmt.Errorf("loophole: unsupported size %d", len(l.Verts))
+	}
+}
+
+// FindForVertex returns some loophole containing v, or nil. It is exact:
+// it checks degree deficiency, then enumerates 4-cycles and 6-cycles
+// through v. Intended for tests and modest graphs (cost up to ~Δ^4 per
+// call).
+func FindForVertex(g *graph.Graph, delta, v int) *Loophole {
+	if g.Degree(v) < delta {
+		return newSingleton(v)
+	}
+	if c := fourCycleThrough(g, v); c != nil {
+		return c
+	}
+	return sixCycleThrough(g, v)
+}
+
+// fourCycleThrough searches for a non-clique 4-cycle v-a-x-b.
+func fourCycleThrough(g *graph.Graph, v int) *Loophole {
+	nv := g.Neighbors(v)
+	for i := 0; i < len(nv); i++ {
+		a := nv[i]
+		for j := i + 1; j < len(nv); j++ {
+			b := nv[j]
+			for _, x := range g.Neighbors(a) {
+				if x == v || x == b || !g.HasEdge(x, b) {
+					continue
+				}
+				cand := []int{v, a, x, b}
+				if !g.IsClique(cand) {
+					return newCycle(cand)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// sixCycleThrough searches for a non-clique 6-cycle v-a-b-c-d-e by meeting
+// length-3 paths in the middle.
+func sixCycleThrough(g *graph.Graph, v int) *Loophole {
+	nv := g.Neighbors(v)
+	for i := 0; i < len(nv); i++ {
+		a := nv[i]
+		for j := 0; j < len(nv); j++ {
+			e := nv[j]
+			if e == a {
+				continue
+			}
+			// Path a-b-c-d-e with all vertices distinct from {v,a,e}.
+			for _, b := range g.Neighbors(a) {
+				if b == v || b == a || b == e {
+					continue
+				}
+				for _, c := range g.Neighbors(b) {
+					if c == v || c == a || c == b || c == e {
+						continue
+					}
+					for _, d := range g.Neighbors(c) {
+						if d == v || d == a || d == b || d == c || d == e {
+							continue
+						}
+						if !g.HasEdge(d, e) {
+							continue
+						}
+						cand := []int{v, a, b, c, d, e}
+						if !g.IsClique(cand) {
+							return newCycle(cand)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FindAll returns a witness loophole per vertex (nil where none exists),
+// using the exact per-vertex search. Exponentially cheaper detectors for
+// the pipeline live in classify.go.
+func FindAll(g *graph.Graph, delta int) []*Loophole {
+	out := make([]*Loophole, g.N())
+	for v := 0; v < g.N(); v++ {
+		out[v] = FindForVertex(g, delta, v)
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func BenchmarkMaximal(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomRegular(1000, 8, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Maximal(local.New(g)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

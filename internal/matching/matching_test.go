@@ -1,0 +1,137 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func TestMaximalOnVariousGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"Cycle", graph.Cycle(15)},
+		{"Complete", graph.Complete(10)},
+		{"Path", graph.Path(9)},
+		{"Torus", graph.Torus(5, 6)},
+		{"Star", graph.Star(8)},
+		{"ER", graph.ErdosRenyi(50, 0.1, rng)},
+		{"SingleEdge", graph.Path(2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			net := local.New(c.g)
+			m, err := Maximal(net)
+			if err != nil {
+				t.Fatalf("Maximal: %v", err)
+			}
+			if err := Verify(c.g, m, c.g.Edges()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMaximalOnEdgeSubset(t *testing.T) {
+	g := graph.Complete(8)
+	// Restrict to the edges of an 8-cycle inside K8.
+	var subset []graph.Edge
+	for v := 0; v < 8; v++ {
+		u, w := v, (v+1)%8
+		if u > w {
+			u, w = w, u
+		}
+		subset = append(subset, graph.Edge{U: u, V: w})
+	}
+	net := local.New(g)
+	m, err := MaximalOn(net, subset)
+	if err != nil {
+		t.Fatalf("MaximalOn: %v", err)
+	}
+	if err := Verify(g, m, subset); err != nil {
+		t.Fatal(err)
+	}
+	in := make(map[graph.Edge]bool)
+	for _, e := range subset {
+		in[e] = true
+	}
+	for _, e := range m {
+		if !in[e] {
+			t.Fatalf("matched edge %v outside the allowed subset", e)
+		}
+	}
+	// A maximal matching on C8 has at least 3 edges.
+	if len(m) < 3 {
+		t.Fatalf("matching has %d edges, want >= 3", len(m))
+	}
+}
+
+func TestMaximalOnEmptySubset(t *testing.T) {
+	net := local.New(graph.Complete(4))
+	m, err := MaximalOn(net, nil)
+	if err != nil || m != nil {
+		t.Fatalf("empty subset: %v %v", m, err)
+	}
+}
+
+func TestMaximalPerfectOnEvenCycle(t *testing.T) {
+	g := graph.Cycle(12)
+	m, err := Maximal(local.New(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Maximal matching on C12 has between 4 and 6 edges.
+	if len(m) < 4 || len(m) > 6 {
+		t.Fatalf("matching size %d out of [4,6]", len(m))
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	g := graph.Path(4)
+	if err := Verify(g, []graph.Edge{{U: 0, V: 2}}, nil); err == nil {
+		t.Fatal("non-edge accepted")
+	}
+	if err := Verify(g, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, nil); err == nil {
+		t.Fatal("overlapping edges accepted")
+	}
+	if err := Verify(g, []graph.Edge{{U: 0, V: 1}}, g.Edges()); err == nil {
+		t.Fatal("non-maximal matching accepted")
+	}
+	if err := Verify(g, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, g.Edges()); err != nil {
+		t.Fatalf("valid maximal matching rejected: %v", err)
+	}
+}
+
+func TestMaximalRoundsScaleWithLogStar(t *testing.T) {
+	for _, n := range []int{1 << 8, 1 << 14} {
+		g := graph.Cycle(n)
+		net := local.New(g)
+		if _, err := Maximal(net); err != nil {
+			t.Fatal(err)
+		}
+		if net.Rounds() > 200 {
+			t.Fatalf("n=%d: %d rounds, expected log*-scale", n, net.Rounds())
+		}
+	}
+}
+
+func TestMaximalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		g := graph.PermuteIDs(graph.ErdosRenyi(n, 0.2, rng), rng)
+		m, err := Maximal(local.New(g))
+		if err != nil {
+			return false
+		}
+		return Verify(g, m, g.Edges()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package rulingset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func TestMISBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"Cycle", graph.Cycle(11)},
+		{"Complete", graph.Complete(9)},
+		{"Path", graph.Path(16)},
+		{"Torus", graph.Torus(6, 7)},
+		{"Star", graph.Star(12)},
+		{"Singleton", graph.Path(1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			net := local.New(c.g)
+			in, err := MIS(net)
+			if err != nil {
+				t.Fatalf("MIS: %v", err)
+			}
+			if err := VerifyMIS(c.g, in); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMISCompleteGraphSizeOne(t *testing.T) {
+	g := graph.Complete(20)
+	in, err := MIS(local.New(g))
+	if err != nil {
+		t.Fatalf("MIS: %v", err)
+	}
+	n := 0
+	for _, ok := range in {
+		if ok {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("MIS of K20 has %d members, want 1", n)
+	}
+}
+
+func TestMISEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).MustBuild()
+	in, err := MIS(local.New(g))
+	if err != nil || in != nil {
+		t.Fatalf("MIS on empty graph: %v %v", in, err)
+	}
+}
+
+func TestRulingSetOnCycle(t *testing.T) {
+	g := graph.Cycle(60)
+	for _, r := range []int{1, 2, 3, 6} {
+		net := local.New(g)
+		in, err := RulingSet(net, r)
+		if err != nil {
+			t.Fatalf("RulingSet(r=%d): %v", r, err)
+		}
+		if err := VerifyRulingSet(g, in, r); err != nil {
+			t.Fatalf("r=%d: %v", r, err)
+		}
+	}
+}
+
+func TestRulingSetRejectsBadR(t *testing.T) {
+	if _, err := RulingSet(local.New(graph.Cycle(5)), 0); err == nil {
+		t.Fatal("accepted r=0")
+	}
+}
+
+func TestRulingSetChargesDilatedRounds(t *testing.T) {
+	g := graph.Cycle(64)
+	n1 := local.New(g)
+	if _, err := RulingSet(n1, 1); err != nil {
+		t.Fatal(err)
+	}
+	n3 := local.New(g)
+	if _, err := RulingSet(n3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n3.Rounds() <= n1.Rounds() {
+		t.Fatalf("distance-3 ruling set (%d rounds) should cost more than MIS (%d rounds)",
+			n3.Rounds(), n1.Rounds())
+	}
+}
+
+func TestVerifyMISCatchesViolations(t *testing.T) {
+	g := graph.Path(4)
+	if err := VerifyMIS(g, []bool{true, true, false, true}); err == nil {
+		t.Fatal("adjacent members accepted")
+	}
+	if err := VerifyMIS(g, []bool{true, false, false, false}); err == nil {
+		t.Fatal("undominated vertex accepted")
+	}
+	if err := VerifyMIS(g, []bool{true, false, true, false}); err != nil {
+		t.Fatalf("valid MIS rejected: %v", err)
+	}
+	if err := VerifyMIS(g, []bool{true}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestVerifyRulingSetCatchesViolations(t *testing.T) {
+	g := graph.Path(8)
+	if err := VerifyRulingSet(g, []bool{true, false, true, false, false, false, false, true}, 2); err == nil {
+		t.Fatal("close members accepted")
+	}
+	if err := VerifyRulingSet(g, []bool{true, false, false, false, false, false, false, false}, 2); err == nil {
+		t.Fatal("undominated accepted")
+	}
+	if err := VerifyRulingSet(g, []bool{true, false, false, true, false, false, true, false}, 2); err != nil {
+		t.Fatalf("valid ruling set rejected: %v", err)
+	}
+}
+
+func TestMISProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(50)
+		g := graph.PermuteIDs(graph.ErdosRenyi(n, 0.2, rng), rng)
+		in, err := MIS(local.New(g))
+		if err != nil {
+			return false
+		}
+		return VerifyMIS(g, in) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRulingSetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		r := 1 + rng.Intn(3)
+		g := graph.PermuteIDs(graph.ErdosRenyi(n, 0.15, rng), rng)
+		in, err := RulingSet(local.New(g), r)
+		if err != nil {
+			return false
+		}
+		return VerifyRulingSet(g, in, r) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package sinkless implements the sinkless orientation problem discussed in
+// the paper's technical overview (Section 1.1): orient all edges so that
+// every vertex of degree at least 3 has an outgoing edge. The problem has
+// deterministic complexity Θ(log n) and is the conceptual ancestor of
+// hyperedge grabbing, so the implementation simply reduces to internal/heg:
+// each degree-≥3 vertex must grab a private incident edge, which it orients
+// outward (rank 2, minimum degree ≥ 3 > 1.1·2).
+//
+// OrientTwoOut implements the paper's vertex-splitting trick: splitting
+// every vertex of degree ≥ 6 into two virtual halves guarantees two
+// outgoing edges per such vertex — exactly the device Algorithm 2 uses at
+// clique granularity to reserve two slack-triad edges per clique.
+package sinkless
+
+import (
+	"fmt"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/heg"
+	"deltacoloring/internal/local"
+)
+
+// Orientation assigns each edge (by index into the edge list) an oriented
+// direction: Away[e] is the tail vertex (edge points from Away[e] to the
+// other endpoint).
+type Orientation struct {
+	Edges []graph.Edge
+	Tail  []int
+}
+
+// Orient computes a sinkless orientation of net's graph. Vertices of degree
+// less than 3 may be sinks, per the problem definition.
+func Orient(net *local.Network) (*Orientation, error) {
+	g := net.Graph()
+	edges := g.Edges()
+	hyper := make([][]int, len(edges))
+	for i, e := range edges {
+		var verts []int
+		if g.Degree(e.U) >= 3 {
+			verts = append(verts, e.U)
+		}
+		if g.Degree(e.V) >= 3 {
+			verts = append(verts, e.V)
+		}
+		if len(verts) == 0 {
+			verts = []int{e.U} // placeholder member; rank stays <= 2
+		}
+		hyper[i] = verts
+	}
+	// Restrict the HEG instance to the participating vertices.
+	participating := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		participating[v] = g.Degree(v) >= 3
+	}
+	grab, err := solveRestricted(net, g.N(), participating, hyper)
+	if err != nil {
+		return nil, fmt.Errorf("sinkless: %w", err)
+	}
+	o := &Orientation{Edges: edges, Tail: make([]int, len(edges))}
+	for i, e := range edges {
+		// Default: orient toward the smaller endpoint.
+		o.Tail[i] = e.V
+		if g.ID(e.U) > g.ID(e.V) {
+			o.Tail[i] = e.U
+		}
+	}
+	for v, e := range grab {
+		if e >= 0 {
+			o.Tail[e] = v
+		}
+	}
+	return o, nil
+}
+
+// solveRestricted runs HEG over only the participating vertices by
+// compacting indices.
+func solveRestricted(net *local.Network, n int, participating []bool, edges [][]int) ([]int, error) {
+	compact := make([]int, n)
+	var back []int
+	for v := 0; v < n; v++ {
+		if participating[v] {
+			compact[v] = len(back)
+			back = append(back, v)
+		} else {
+			compact[v] = -1
+		}
+	}
+	sub := make([][]int, 0, len(edges))
+	edgeBack := make([]int, 0, len(edges))
+	for i, verts := range edges {
+		var keep []int
+		for _, v := range verts {
+			if participating[v] {
+				keep = append(keep, compact[v])
+			}
+		}
+		if len(keep) > 0 {
+			sub = append(sub, keep)
+			edgeBack = append(edgeBack, i)
+		}
+	}
+	grab := make([]int, n)
+	for v := range grab {
+		grab[v] = -1
+	}
+	if len(back) == 0 {
+		return grab, nil
+	}
+	h, err := heg.NewHypergraph(len(back), sub)
+	if err != nil {
+		return nil, err
+	}
+	sol, _, err := heg.Solve(net, h)
+	if err != nil {
+		return nil, err
+	}
+	for cv, e := range sol {
+		grab[back[cv]] = edgeBack[e]
+	}
+	return grab, nil
+}
+
+// Verify checks the sinkless property: every vertex of degree >= 3 has an
+// outgoing edge and every tail is an endpoint.
+func Verify(g *graph.Graph, o *Orientation) error {
+	if len(o.Tail) != len(o.Edges) {
+		return fmt.Errorf("sinkless: %d tails for %d edges", len(o.Tail), len(o.Edges))
+	}
+	hasOut := make([]bool, g.N())
+	for i, e := range o.Edges {
+		t := o.Tail[i]
+		if t != e.U && t != e.V {
+			return fmt.Errorf("sinkless: tail %d not an endpoint of {%d,%d}", t, e.U, e.V)
+		}
+		hasOut[t] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) >= 3 && !hasOut[v] {
+			return fmt.Errorf("sinkless: vertex %d (degree %d) is a sink", v, g.Degree(v))
+		}
+	}
+	return nil
+}
+
+// OrientTwoOut orients the edges so that every vertex of degree >= 6 has at
+// least two outgoing edges, via the splitting trick: each such vertex is
+// represented by two virtual halves, each owning half its incident edges
+// and each grabbing one edge to orient outward.
+func OrientTwoOut(net *local.Network) (*Orientation, error) {
+	return OrientKOut(net, 2)
+}
+
+// OrientKOut generalizes the splitting trick: every vertex of degree at
+// least 3k is split into k virtual parts, each owning a 1/k share of its
+// incident edges (so each part has degree >= 3) and each grabbing one edge
+// to orient outward — k guaranteed out-edges per such vertex. Vertices of
+// smaller degree do not participate.
+func OrientKOut(net *local.Network, k int) (*Orientation, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sinkless: k must be >= 1, got %d", k)
+	}
+	g := net.Graph()
+	edges := g.Edges()
+	minDeg := 3 * k
+	participate := make([]bool, k*g.N())
+	seenAt := make([]int, g.N()) // incidence counter per vertex
+	hyper := make([][]int, len(edges))
+	edgeIdx := make(map[graph.Edge]int, len(edges))
+	for i, e := range edges {
+		edgeIdx[e] = i
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) < minDeg {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			participate[k*v+j] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v > w {
+				continue
+			}
+			i := edgeIdx[graph.Edge{U: v, V: w}]
+			for _, end := range [2]int{v, w} {
+				if g.Degree(end) >= minDeg {
+					part := k*end + seenAt[end]%k
+					hyper[i] = append(hyper[i], part)
+				}
+				seenAt[end]++
+			}
+		}
+	}
+	grab, err := solveRestricted(net, k*g.N(), participate, hyper)
+	if err != nil {
+		return nil, fmt.Errorf("sinkless: %d-out: %w", k, err)
+	}
+	o := &Orientation{Edges: edges, Tail: make([]int, len(edges))}
+	for i, e := range edges {
+		o.Tail[i] = e.V
+		if g.ID(e.U) > g.ID(e.V) {
+			o.Tail[i] = e.U
+		}
+	}
+	for part, e := range grab {
+		if e >= 0 {
+			o.Tail[e] = part / k
+		}
+	}
+	return o, nil
+}
+
+// VerifyKOut checks that every vertex of degree >= 3k has at least k
+// outgoing edges.
+func VerifyKOut(g *graph.Graph, o *Orientation, k int) error {
+	outs := make([]int, g.N())
+	for i, e := range o.Edges {
+		t := o.Tail[i]
+		if t != e.U && t != e.V {
+			return fmt.Errorf("sinkless: tail %d not an endpoint of {%d,%d}", t, e.U, e.V)
+		}
+		outs[t]++
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) >= 3*k && outs[v] < k {
+			return fmt.Errorf("sinkless: vertex %d (degree %d) has %d outgoing edges, want >= %d",
+				v, g.Degree(v), outs[v], k)
+		}
+	}
+	return nil
+}
+
+// VerifyTwoOut checks that every vertex of degree >= 6 has at least two
+// outgoing edges.
+func VerifyTwoOut(g *graph.Graph, o *Orientation) error {
+	return VerifyKOut(g, o, 2)
+}

@@ -1,0 +1,172 @@
+package sinkless
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func TestOrientRegularGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"K4", graph.Complete(4)},
+		{"3regular", graph.RandomRegular(40, 3, rng)},
+		{"5regular", graph.RandomRegular(30, 5, rng)},
+		{"Torus", graph.Torus(5, 5)}, // degree 4
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			net := local.New(c.g)
+			o, err := Orient(net)
+			if err != nil {
+				t.Fatalf("Orient: %v", err)
+			}
+			if err := Verify(c.g, o); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestOrientLowDegreeVerticesMayBeSinks(t *testing.T) {
+	// A cycle has max degree 2; any orientation is sinkless by definition.
+	g := graph.Cycle(7)
+	o, err := Orient(local.New(g))
+	if err != nil {
+		t.Fatalf("Orient: %v", err)
+	}
+	if err := Verify(g, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientMixedDegrees(t *testing.T) {
+	// K4 with a pendant path: the path vertices have degree <= 2.
+	b := graph.NewBuilder(7)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 6)
+	g := b.MustBuild()
+	o, err := Orient(local.New(g))
+	if err != nil {
+		t.Fatalf("Orient: %v", err)
+	}
+	if err := Verify(g, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientTwoOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, d := range []int{6, 8, 10} {
+		g := graph.RandomRegular(40, d, rng)
+		o, err := OrientTwoOut(local.New(g))
+		if err != nil {
+			t.Fatalf("d=%d: OrientTwoOut: %v", d, err)
+		}
+		if err := VerifyTwoOut(g, o); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if err := Verify(g, o); err != nil {
+			t.Fatalf("d=%d: two-out orientation not sinkless: %v", d, err)
+		}
+	}
+}
+
+func TestVerifyCatchesSink(t *testing.T) {
+	g := graph.Complete(4)
+	o := &Orientation{Edges: g.Edges(), Tail: make([]int, g.M())}
+	// Orient everything away from vertex 0's perspective: tails all set to
+	// the other endpoint, making 3 a potential sink.
+	for i, e := range o.Edges {
+		o.Tail[i] = e.U // tails: 0,0,0,1,1,2 -> vertex 3 is a sink
+	}
+	if err := Verify(g, o); err == nil {
+		t.Fatal("sink not detected")
+	}
+}
+
+func TestVerifyCatchesBadTail(t *testing.T) {
+	g := graph.Path(3)
+	o := &Orientation{Edges: g.Edges(), Tail: []int{2, 1}}
+	if err := Verify(g, o); err == nil {
+		t.Fatal("non-endpoint tail accepted")
+	}
+}
+
+func TestOrientRoundsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{100, 1000} {
+		g := graph.RandomRegular(n, 3, rng)
+		net := local.New(g)
+		if _, err := Orient(net); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if net.Rounds() > 300 {
+			t.Fatalf("n=%d took %d rounds", n, net.Rounds())
+		}
+	}
+}
+
+func TestOrientProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + 2*rng.Intn(30)
+		d := 3 + rng.Intn(3)
+		if n*d%2 == 1 {
+			n++
+		}
+		g := graph.RandomRegular(n, d, rng)
+		o, err := Orient(local.New(g))
+		if err != nil {
+			return false
+		}
+		return Verify(g, o) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrientKOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, k := range []int{2, 3, 4} {
+		g := graph.RandomRegular(60, 3*k+1, rng)
+		o, err := OrientKOut(local.New(g), k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := VerifyKOut(g, o, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestOrientKOutRejectsBadK(t *testing.T) {
+	if _, err := OrientKOut(local.New(graph.Complete(4)), 0); err == nil {
+		t.Fatal("accepted k=0")
+	}
+}
+
+func TestOrientKOutLowDegreeSkipped(t *testing.T) {
+	// Degree 5 < 3k for k=2: nobody participates, default orientation.
+	g := graph.Complete(6)
+	o, err := OrientKOut(local.New(g), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyKOut(g, o, 2); err != nil {
+		t.Fatal(err) // vacuous: no vertex reaches degree 6
+	}
+}

@@ -1,0 +1,22 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func BenchmarkSplitFourWay(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomRegular(400, 28, rng)
+	edges := g.Edges()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(local.New(g), g.N(), edges, 2, 1.0/100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package split
+
+import (
+	"fmt"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// SplitDirected computes a *directed* degree splitting (Lemma 21, part 1):
+// an orientation of the edges such that every vertex's out-degree deviates
+// from d(v)/2 by at most ε·d(v)/2 + 2 (discrepancy between in- and
+// out-degree at most ε·d(v)+4, mirroring the undirected bound). It returns
+// tail[e], the chosen tail of each edge.
+//
+// The construction reuses the Euler-trail machinery of the undirected
+// split: edges are chained into trails and oriented *along* the trail
+// direction within each segment, so every through-pair at a vertex
+// contributes exactly one incoming and one outgoing edge; only segment
+// boundaries and trail endpoints can unbalance a vertex. Offsets are
+// verified and retried exactly like split2.
+func SplitDirected(net *local.Network, n int, edges []graph.Edge, eps float64) ([]int, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("split: eps must be in (0,1), got %v", eps)
+	}
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+			return nil, fmt.Errorf("split: invalid edge {%d,%d}", e.U, e.V)
+		}
+	}
+	if len(edges) == 0 {
+		return nil, nil
+	}
+	segLen := int(4 / eps)
+	if segLen < 2 {
+		segLen = 2
+	}
+	trails := buildTrails(n, edges)
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	logN := 0
+	for m := n; m > 0; m >>= 1 {
+		logN++
+	}
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		net.Charge(segLen + 6 + logN)
+		tail := orientTrails(n, edges, trails, segLen, attempt)
+		if directedViolation(n, edges, tail, deg, eps) < 0 {
+			return tail, nil
+		}
+	}
+	return nil, fmt.Errorf("split: directed discrepancy bound eps*d+4 not met after %d retries", maxRetries)
+}
+
+// orientTrails walks each trail and orients edges along the walk,
+// reversing direction at each segment boundary (the reversal spreads the
+// boundary imbalance like the color reset does in the undirected case).
+func orientTrails(n int, edges []graph.Edge, trails []trail, segLen, attempt int) []int {
+	tail := make([]int, len(edges))
+	for ti, t := range trails {
+		offset := (ti*31 + attempt*17 + attempt*attempt*7) % segLen
+		forward := true
+		// Track the entry vertex of each edge along the walk.
+		at := startVertex(edges, t)
+		for j, e := range t.edges {
+			if j > 0 && (j+offset)%segLen == 0 {
+				forward = !forward
+			}
+			u, v := edges[e].U, edges[e].V
+			if at != u && at != v {
+				panic(fmt.Sprintf("split: trail walk derailed at edge %d", e))
+			}
+			exit := u + v - at
+			if forward {
+				tail[e] = at
+			} else {
+				tail[e] = exit
+			}
+			at = exit
+		}
+	}
+	return tail
+}
+
+// startVertex returns the vertex at which the trail walk begins: the
+// endpoint of the first edge that is NOT shared with the second edge (or
+// U for single-edge and cycle trails, matching buildTrails' walk order).
+func startVertex(edges []graph.Edge, t trail) int {
+	first := edges[t.edges[0]]
+	if len(t.edges) == 1 {
+		return first.U
+	}
+	second := edges[t.edges[1]]
+	if first.U == second.U || first.U == second.V {
+		return first.V
+	}
+	return first.U
+}
+
+// directedViolation returns a violating vertex or -1 if every vertex's
+// |out - in| is at most eps*d(v)+4.
+func directedViolation(n int, edges []graph.Edge, tail []int, deg []int, eps float64) int {
+	diff := make([]int, n)
+	for e, t := range tail {
+		other := edges[e].U + edges[e].V - t
+		diff[t]++     // outgoing at the tail
+		diff[other]-- // incoming at the head
+	}
+	for v := 0; v < n; v++ {
+		d := diff[v]
+		if d < 0 {
+			d = -d
+		}
+		if float64(d) > eps*float64(deg[v])+4 {
+			return v
+		}
+	}
+	return -1
+}
+
+// VerifyDirected checks the Lemma 21(1)-style bound |out(v) - in(v)| <=
+// eps*d(v) + 4 for every vertex.
+func VerifyDirected(n int, edges []graph.Edge, tail []int, eps float64) error {
+	if len(tail) != len(edges) {
+		return fmt.Errorf("split: %d tails for %d edges", len(tail), len(edges))
+	}
+	deg := make([]int, n)
+	for e, t := range tail {
+		if t != edges[e].U && t != edges[e].V {
+			return fmt.Errorf("split: tail %d is not an endpoint of edge %d", t, e)
+		}
+		deg[edges[e].U]++
+		deg[edges[e].V]++
+	}
+	if v := directedViolation(n, edges, tail, deg, eps); v >= 0 {
+		return fmt.Errorf("split: vertex %d exceeds the directed discrepancy bound", v)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func TestSplitDirectedRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, d := range []int{4, 8, 16} {
+		g := graph.RandomRegular(100, d, rng)
+		edges := g.Edges()
+		tail, err := SplitDirected(local.New(g), g.N(), edges, 0.25)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if err := VerifyDirected(g.N(), edges, tail, 0.25); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSplitDirectedCycleIsPerfect(t *testing.T) {
+	// A single cycle orients along the trail: every vertex gets exactly
+	// one in and one out (up to segment-boundary flips, discrepancy <= 2).
+	g := graph.Cycle(30)
+	edges := g.Edges()
+	tail, err := SplitDirected(local.New(g), g.N(), edges, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDirected(g.N(), edges, tail, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDirectedMultigraph(t *testing.T) {
+	edges := make([]graph.Edge, 10)
+	for i := range edges {
+		edges[i] = graph.Edge{U: 0, V: 1}
+	}
+	tail, err := SplitDirected(local.New(graph.Path(2)), 2, edges, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDirected(2, edges, tail, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	// 10 parallel edges: out-degrees should split about evenly.
+	out0 := 0
+	for _, tl := range tail {
+		if tl == 0 {
+			out0++
+		}
+	}
+	if out0 < 2 || out0 > 8 {
+		t.Fatalf("parallel edges split %d/10", out0)
+	}
+}
+
+func TestSplitDirectedEmptyAndInvalid(t *testing.T) {
+	if tail, err := SplitDirected(local.New(graph.Path(2)), 2, nil, 0.5); err != nil || tail != nil {
+		t.Fatalf("empty: %v %v", tail, err)
+	}
+	if _, err := SplitDirected(local.New(graph.Path(2)), 2, []graph.Edge{{U: 0, V: 3}}, 0.5); err == nil {
+		t.Fatal("accepted out-of-range edge")
+	}
+	if _, err := SplitDirected(local.New(graph.Path(2)), 2, []graph.Edge{{U: 0, V: 1}}, 0); err == nil {
+		t.Fatal("accepted eps=0")
+	}
+}
+
+func TestVerifyDirectedCatchesViolations(t *testing.T) {
+	g := graph.Star(9)
+	edges := g.Edges()
+	// All edges oriented out of the center: discrepancy 8 at vertex 0.
+	tail := make([]int, len(edges))
+	if err := VerifyDirected(g.N(), edges, tail, 0.1); err == nil {
+		t.Fatal("fully unbalanced orientation accepted")
+	}
+	if err := VerifyDirected(g.N(), edges, tail[:2], 0.1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	bad := append([]int(nil), tail...)
+	bad[0] = 5 // not an endpoint of edge {0,1}
+	if err := VerifyDirected(g.N(), edges, bad, 0.9); err == nil {
+		t.Fatal("non-endpoint tail accepted")
+	}
+}
+
+func TestSplitDirectedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + 2*rng.Intn(40)
+		d := 4 + 2*rng.Intn(4)
+		g := graph.RandomRegular(n, d, rng)
+		eps := 0.15 + rng.Float64()*0.3
+		edges := g.Edges()
+		tail, err := SplitDirected(local.New(g), g.N(), edges, eps)
+		if err != nil {
+			return false
+		}
+		return VerifyDirected(g.N(), edges, tail, eps) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
