@@ -2,9 +2,10 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench report report-full fuzz clean
+.PHONY: all build vet test test-short check race serve bench report report-full fuzz clean
 
-all: build vet test
+# `check` is the default CI path: vet + the full test suite under -race.
+all: build check
 
 build:
 	$(GO) build ./...
@@ -18,8 +19,15 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 race:
-	$(GO) test -race ./internal/local/ ./internal/baseline/ .
+	$(GO) test -race ./internal/local/ ./internal/baseline/ ./internal/service/ .
+
+serve:
+	$(GO) run ./cmd/deltaserved
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -35,6 +43,7 @@ report-full:
 fuzz:
 	$(GO) test -fuzz FuzzNewGraph -fuzztime 30s .
 	$(GO) test -fuzz FuzzVerify -fuzztime 30s .
+	$(GO) test -fuzz FuzzGraphioRead -fuzztime 30s .
 
 clean:
 	$(GO) clean ./...

@@ -6,9 +6,11 @@
 //
 //	deltacolor -gen hard -m 16 -delta 16 [-algo det|rand] [-seed 1] [-colors]
 //	deltacolor -in graph.edges [-algo det] [-paper]
+//	graphgen ... | deltacolor -in -
 //
 // Graph files use a plain edge-list format: the first line is the vertex
-// count, each further line "u v" is an edge; '#' starts a comment.
+// count, each further line "u v" is an edge; '#' starts a comment. The
+// special path "-" reads the graph from standard input.
 package main
 
 import (
@@ -33,7 +35,7 @@ func run(args []string, w io.Writer) error {
 	genFlag := fs.String("gen", "", "generator: hard, easy, or mixed")
 	mFlag := fs.Int("m", 16, "cliques per side (hard/mixed) or ring length (easy)")
 	deltaFlag := fs.Int("delta", 16, "clique size = maximum degree")
-	inFlag := fs.String("in", "", "read an edge-list graph file instead of generating")
+	inFlag := fs.String("in", "", "read an edge-list graph file instead of generating (\"-\" for stdin)")
 	algoFlag := fs.String("algo", "det", "algorithm: det (Theorem 1) or rand (Theorem 2)")
 	seedFlag := fs.Int64("seed", 1, "seed for -algo rand")
 	paperFlag := fs.Bool("paper", false, "use the paper-exact parameters (ε=1/63, needs Δ ⪆ 85)")
@@ -126,6 +128,19 @@ func run(args []string, w io.Writer) error {
 }
 
 func readGraph(path string) (*deltacoloring.Graph, error) {
+	return readGraphFrom(path, os.Stdin)
+}
+
+// readGraphFrom resolves the edge-list source: the conventional "-" means
+// stdin (the same reader the service client examples pipe through).
+func readGraphFrom(path string, stdin io.Reader) (*deltacoloring.Graph, error) {
+	if path == "-" {
+		g, err := graphio.Read(stdin)
+		if err != nil {
+			return nil, fmt.Errorf("stdin: %w", err)
+		}
+		return g, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

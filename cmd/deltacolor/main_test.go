@@ -91,6 +91,21 @@ func TestReadGraph(t *testing.T) {
 	}
 }
 
+func TestReadGraphFromStdin(t *testing.T) {
+	g, err := readGraphFrom("-", strings.NewReader("4\n0 1\n1 2\n2 3\n3 0\n"))
+	if err != nil {
+		t.Fatalf("readGraphFrom: %v", err)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("graph shape n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := readGraphFrom("-", strings.NewReader("not a graph")); err == nil {
+		t.Fatal("accepted malformed stdin")
+	} else if !strings.Contains(err.Error(), "stdin") {
+		t.Fatalf("stdin error not attributed: %v", err)
+	}
+}
+
 func TestReadGraphErrors(t *testing.T) {
 	cases := map[string]string{
 		"empty":          "",

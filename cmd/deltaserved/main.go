@@ -1,0 +1,90 @@
+// Command deltaserved runs the Δ-coloring HTTP service: a bounded worker
+// pool over the machine-checked pipeline with a result cache, async jobs,
+// and Prometheus metrics.
+//
+// Usage:
+//
+//	deltaserved [-addr :8090] [-workers 4] [-queue 64] [-cache 256]
+//	            [-timeout 30s] [-max-timeout 5m] [-drain 30s]
+//
+// Endpoints: POST /v1/color, GET /v1/jobs/{id}, GET /healthz, GET /metrics.
+// See README.md ("Running the service") for request examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deltacoloring/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "deltaserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("deltaserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	workers := fs.Int("workers", 4, "worker pool size")
+	queue := fs.Int("queue", 64, "job queue depth (full queue answers 429)")
+	cache := fs.Int("cache", 256, "result cache entries")
+	timeout := fs.Duration("timeout", 30*time.Second, "default per-job timeout")
+	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "cap on request-supplied timeouts")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("deltaserved: listening on %s (%d workers, queue %d, cache %d)",
+			*addr, *workers, *queue, *cache)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("deltaserved: %v, draining (budget %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("deltaserved: HTTP shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	log.Printf("deltaserved: drained cleanly")
+	return nil
+}

@@ -1,0 +1,79 @@
+package deltacoloring
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Cancelling mid-run must abort between pipeline phases and surface
+// ctx.Err(), not a panic or a coloring. The cancellation is triggered from
+// the span hook, so the run is provably past its first phase.
+func TestDeterministicContextCancelMidRun(t *testing.T) {
+	g := GenHardCliqueBipartite(16, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := 0
+	res, err := DeterministicContext(ctx, g, ScaledParams(), &RunOptions{
+		SpanHook: func(Span) {
+			fired++
+			cancel()
+		},
+	})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got res=%v err=%v", res != nil, err)
+	}
+	if fired == 0 {
+		t.Fatal("cancellation did not come from a closed span")
+	}
+}
+
+func TestDeterministicContextExpiredDeadline(t *testing.T) {
+	g := GenEasyCliqueRing(4, 16)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := DeterministicContext(ctx, g, ScaledParams(), nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRandomizedContextCancel(t *testing.T) {
+	g := GenEasyCliqueRing(4, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RandomizedContext(ctx, g, ScaledRandomizedParams(), 1, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// A background context must not change behavior: the context-aware entry
+// point with no options is exactly the plain one.
+func TestContextVariantsAgree(t *testing.T) {
+	g := GenEasyCliqueRing(4, 16)
+	plain, err := Deterministic(g, ScaledParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans int
+	ctxRes, err := DeterministicContext(context.Background(), g, ScaledParams(), &RunOptions{
+		SpanHook: func(sp Span) { spans++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Rounds != ctxRes.Rounds {
+		t.Fatalf("rounds differ: %d vs %d", plain.Rounds, ctxRes.Rounds)
+	}
+	for i := range plain.Colors {
+		if plain.Colors[i] != ctxRes.Colors[i] {
+			t.Fatalf("color %d differs", i)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("span hook never fired")
+	}
+	if err := Verify(g, ctxRes.Colors); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,7 @@
 package deltacoloring
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -104,37 +105,92 @@ func NewGraph(n int, edges [][2]int) (*Graph, error) {
 	return b.Build()
 }
 
+// RunOptions tunes a context-aware run. The zero value (or a nil pointer)
+// means: no span export, default sequential execution.
+type RunOptions struct {
+	// SpanHook, when non-nil, receives each phase span as it closes, even
+	// if the run later fails or is cancelled. See local.Network.SetSpanHook.
+	SpanHook func(Span)
+	// Workers sets the Exchange worker count (0 keeps the default of 1;
+	// negative picks GOMAXPROCS-style automatic parallelism).
+	Workers int
+}
+
 // Deterministic runs Theorem 1's algorithm with the given parameters.
 func Deterministic(g *Graph, p Params) (*Result, error) {
-	net := local.New(g)
-	res, err := core.ColorDeterministic(net, p)
-	if err != nil {
-		return nil, err
+	return DeterministicContext(context.Background(), g, p, nil)
+}
+
+// DeterministicContext is Deterministic with cancellation and run options:
+// the context's deadline/cancellation is checked at every LOCAL round
+// boundary (and so between all pipeline phases), aborting the run with
+// ctx.Err(). opts may be nil.
+func DeterministicContext(ctx context.Context, g *Graph, p Params, opts *RunOptions) (res *Result, err error) {
+	net := newNetwork(ctx, g, opts)
+	defer recoverInterrupt(&err)
+	cres, cerr := core.ColorDeterministic(net, p)
+	if cerr != nil {
+		return nil, cerr
 	}
 	return &Result{
-		Colors: res.Coloring.Colors,
-		Rounds: res.Rounds,
-		Spans:  res.Spans,
-		Stats:  res.Stats,
+		Colors: cres.Coloring.Colors,
+		Rounds: cres.Rounds,
+		Spans:  cres.Spans,
+		Stats:  cres.Stats,
 	}, nil
 }
 
 // Randomized runs Theorem 2's algorithm with the given parameters and seed.
 func Randomized(g *Graph, p RandomizedParams, seed int64) (*RandomizedResult, error) {
-	net := local.New(g)
-	res, err := core.ColorRandomized(net, p, rand.New(rand.NewSource(seed)))
-	if err != nil {
-		return nil, err
+	return RandomizedContext(context.Background(), g, p, seed, nil)
+}
+
+// RandomizedContext is Randomized with cancellation and run options; see
+// DeterministicContext for the contract.
+func RandomizedContext(ctx context.Context, g *Graph, p RandomizedParams, seed int64, opts *RunOptions) (res *RandomizedResult, err error) {
+	net := newNetwork(ctx, g, opts)
+	defer recoverInterrupt(&err)
+	cres, cerr := core.ColorRandomized(net, p, rand.New(rand.NewSource(seed)))
+	if cerr != nil {
+		return nil, cerr
 	}
 	return &RandomizedResult{
 		Result: Result{
-			Colors: res.Coloring.Colors,
-			Rounds: res.Rounds,
-			Spans:  res.Spans,
-			Stats:  res.Stats,
+			Colors: cres.Coloring.Colors,
+			Rounds: cres.Rounds,
+			Spans:  cres.Spans,
+			Stats:  cres.Stats,
 		},
-		Rand: res.Rand,
+		Rand: cres.Rand,
 	}, nil
+}
+
+func newNetwork(ctx context.Context, g *Graph, opts *RunOptions) *local.Network {
+	net := local.New(g)
+	if ctx != nil && ctx.Done() != nil {
+		net.SetInterrupt(func() error { return ctx.Err() })
+	}
+	if opts != nil {
+		if opts.SpanHook != nil {
+			net.SetSpanHook(opts.SpanHook)
+		}
+		if opts.Workers != 0 {
+			net.SetWorkers(opts.Workers)
+		}
+	}
+	return net
+}
+
+// recoverInterrupt converts the local.Interrupt panic raised by a cancelled
+// context back into an ordinary error return.
+func recoverInterrupt(err *error) {
+	if r := recover(); r != nil {
+		ip, ok := r.(local.Interrupt)
+		if !ok {
+			panic(r)
+		}
+		*err = ip.Err
+	}
 }
 
 // Verify checks that colors is a complete proper coloring of g with colors

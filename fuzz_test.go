@@ -5,7 +5,10 @@ package deltacoloring
 // `go test -fuzz FuzzNewGraph` etc. for continuous fuzzing.
 
 import (
+	"strings"
 	"testing"
+
+	"deltacoloring/internal/graphio"
 )
 
 // FuzzNewGraph feeds arbitrary edge bytes into the graph builder: it must
@@ -37,6 +40,50 @@ func FuzzNewGraph(f *testing.F) {
 					t.Fatal("asymmetric edge")
 				}
 			}
+		}
+	})
+}
+
+// FuzzGraphioRead feeds arbitrary text through the edge-list parser, which
+// backs both the CLI file path and the service's edge_list request field:
+// it must never panic, and must return exactly one of (graph, error). The
+// parser runs with the serving layer's vertex cap so a tiny adversarial
+// header ("9999999") cannot turn one fuzz exec into a giant allocation.
+func FuzzGraphioRead(f *testing.F) {
+	f.Add("4\n0 1\n1 2\n2 3\n")
+	f.Add("")                              // empty input
+	f.Add("x\n0 1\n")                      // malformed header
+	f.Add("1 2\n3\n")                      // edge before header
+	f.Add("-7\n")                          // negative vertex count
+	f.Add("9999999\n")                     // vertex count beyond the cap
+	f.Add("99999999999999999999\n")        // overflowing vertex count
+	f.Add("3\n0 1\n0 1\n1 0\n")            // duplicate edges
+	f.Add("3\n0 9\n")                      // out-of-range vertex
+	f.Add("3\n1 1\n")                      // self-loop
+	f.Add("3\n0 1 2\n")                    // wrong arity
+	f.Add("3\n0 x\n")                      // non-numeric endpoint
+	f.Add("# only comments\n\n# more\n")   // comments but no header
+	f.Add("2\n\n#c\n 0   1 \n")            // blanks and stray spaces
+	f.Add("5\n0 1\n# pad\n" + "4 3\n\n\n") // trailing noise
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := graphio.ReadMax(strings.NewReader(in), 1<<16)
+		if (g == nil) == (err == nil) {
+			t.Fatalf("graph/error exclusivity violated: g=%v err=%v", g, err)
+		}
+		if g == nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser produced invalid graph: %v", err)
+		}
+		// A parsed graph must survive the write/read round trip.
+		var sb strings.Builder
+		if err := graphio.Write(&sb, g, ""); err != nil {
+			t.Fatal(err)
+		}
+		back, err := graphio.Read(strings.NewReader(sb.String()))
+		if err != nil || back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip broke: n=%d m=%d err=%v", g.N(), g.M(), err)
 		}
 	})
 }

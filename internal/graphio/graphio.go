@@ -12,7 +12,10 @@ package graphio
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strconv"
 	"strings"
@@ -20,13 +23,30 @@ import (
 	"deltacoloring/internal/graph"
 )
 
+// MaxLineLen caps a single input line. The scanner buffer starts small and
+// grows on demand up to this limit, so ordinary inputs stay cheap while
+// large generated edge lists (long comment banners, wide whitespace) still
+// parse; a line beyond the cap is a clear ErrLineTooLong, not a silent
+// bufio failure.
+const MaxLineLen = 64 << 20 // 64 MiB
+
+// ErrLineTooLong marks an input line exceeding MaxLineLen.
+var ErrLineTooLong = errors.New("graphio: line too long")
+
 // Read parses an edge-list graph.
-func Read(r io.Reader) (*graph.Graph, error) {
+func Read(r io.Reader) (*graph.Graph, error) { return ReadMax(r, 0) }
+
+// ReadMax is Read with a cap on the declared vertex count (0 = unlimited).
+// Serving paths use it to reject a tiny header that would commit the
+// process to an enormous allocation before any edge is read.
+func ReadMax(r io.Reader, maxN int) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), MaxLineLen)
 	n := -1
+	lineno := 0
 	var b *graph.Builder
 	for sc.Scan() {
+		lineno++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -39,6 +59,9 @@ func Read(r io.Reader) (*graph.Graph, error) {
 			v, err := strconv.Atoi(fields[0])
 			if err != nil || v < 0 {
 				return nil, fmt.Errorf("graphio: invalid vertex count %q", fields[0])
+			}
+			if maxN > 0 && v > maxN {
+				return nil, fmt.Errorf("graphio: vertex count %d exceeds limit %d", v, maxN)
 			}
 			n = v
 			b = graph.NewBuilder(n)
@@ -55,12 +78,35 @@ func Read(r io.Reader) (*graph.Graph, error) {
 		b.AddEdge(u, v)
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("%w: line %d exceeds %d bytes", ErrLineTooLong, lineno+1, MaxLineLen)
+		}
 		return nil, err
 	}
 	if n < 0 {
 		return nil, fmt.Errorf("graphio: empty input")
 	}
 	return b.Build()
+}
+
+// CanonicalHash returns a 64-bit FNV-1a digest of g's labeled structure:
+// the vertex count followed by every edge in the canonical (sorted) order
+// Graph.Edges guarantees. Two graphs hash equally iff they have the same
+// vertex count and edge set, which makes the digest a stable cache key for
+// coloring requests regardless of the order edges arrived in.
+func CanonicalHash(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	put(g.N())
+	for _, e := range g.Edges() {
+		put(e.U)
+		put(e.V)
+	}
+	return h.Sum64()
 }
 
 // Write renders g in the edge-list format with an optional leading comment.

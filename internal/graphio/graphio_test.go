@@ -1,6 +1,7 @@
 package graphio
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -52,6 +53,96 @@ func TestWriteRead(t *testing.T) {
 	}
 	if back.N() != g.N() || back.M() != g.M() {
 		t.Fatal("round trip changed shape")
+	}
+}
+
+// Read -> Write -> Read must be the identity on adjacency structure even
+// for messy inputs (comments, blank lines, duplicate and reversed edges).
+func TestReadWriteReadRoundTrip(t *testing.T) {
+	in := "# messy input\n6\n\n0 1\n1 0\n2 3\n# mid comment\n3 4\n4 5\n5 0\n0 1\n"
+	first, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Write(&sb, first, "round trip"); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.N() != first.N() || second.M() != first.M() {
+		t.Fatalf("shape changed: n %d->%d, m %d->%d", first.N(), second.N(), first.M(), second.M())
+	}
+	for v := 0; v < first.N(); v++ {
+		for w := v + 1; w < first.N(); w++ {
+			if first.HasEdge(v, w) != second.HasEdge(v, w) {
+				t.Fatalf("edge {%d,%d} changed across round trip", v, w)
+			}
+		}
+	}
+}
+
+// A multi-MiB line must parse: the scanner buffer grows past the old hard
+// 1 MiB cap instead of failing with a bare bufio error.
+func TestReadLongLine(t *testing.T) {
+	in := "# " + strings.Repeat("x", 2<<20) + "\n3\n0 1\n1 2\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("2 MiB comment line rejected: %v", err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("shape n=%d m=%d", g.N(), g.M())
+	}
+}
+
+// endlessLine feeds 'a' bytes forever without a newline.
+type endlessLine struct{}
+
+func (endlessLine) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'a'
+	}
+	return len(p), nil
+}
+
+func TestReadLineTooLong(t *testing.T) {
+	_, err := Read(endlessLine{})
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("want ErrLineTooLong, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error does not name the line: %v", err)
+	}
+}
+
+func TestCanonicalHash(t *testing.T) {
+	a, err := Read(strings.NewReader("4\n0 1\n1 2\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same edge set in a different order and orientation.
+	b, err := Read(strings.NewReader("# same graph\n4\n2 3\n2 1\n1 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalHash(a) != CanonicalHash(b) {
+		t.Fatal("hash must be order-independent")
+	}
+	c, err := Read(strings.NewReader("4\n0 1\n1 2\n2 3\n3 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalHash(a) == CanonicalHash(c) {
+		t.Fatal("different edge sets must hash differently")
+	}
+	d, err := Read(strings.NewReader("5\n0 1\n1 2\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalHash(a) == CanonicalHash(d) {
+		t.Fatal("different vertex counts must hash differently")
 	}
 }
 

@@ -45,11 +45,13 @@ type Network struct {
 }
 
 type counter struct {
-	mu       sync.Mutex
-	rounds   int
-	messages int
-	spans    []Span
-	open     []int // indices into spans of currently open phases
+	mu        sync.Mutex
+	rounds    int
+	messages  int
+	spans     []Span
+	open      []int // indices into spans of currently open phases
+	interrupt func() error
+	spanHook  func(Span)
 }
 
 // Span records the rounds consumed by one named phase, for reporting.
@@ -81,11 +83,44 @@ func (n *Network) Charge(r int) {
 		return
 	}
 	n.counter.mu.Lock()
-	defer n.counter.mu.Unlock()
 	n.counter.rounds += r * n.dilation
 	for _, i := range n.counter.open {
 		n.counter.spans[i].Rounds += r * n.dilation
 	}
+	check := n.counter.interrupt
+	n.counter.mu.Unlock()
+	if check != nil {
+		if err := check(); err != nil {
+			panic(Interrupt{Err: err})
+		}
+	}
+}
+
+// Interrupt is the panic value raised by Charge when the interrupt check
+// installed via SetInterrupt reports an error. It unwinds a running
+// algorithm at its next round boundary; entry points that install an
+// interrupt recover it and surface Err as an ordinary error.
+type Interrupt struct{ Err error }
+
+// SetInterrupt installs a check invoked after every Charge (and therefore
+// after every Exchange round and every phase of the pipeline). A non-nil
+// return aborts the run by panicking with Interrupt{err}. The check is
+// shared with all Virtual children and must be fast and safe to call from
+// the algorithm's goroutine; pass nil to remove it.
+func (n *Network) SetInterrupt(check func() error) {
+	n.counter.mu.Lock()
+	defer n.counter.mu.Unlock()
+	n.counter.interrupt = check
+}
+
+// SetSpanHook installs an export hook invoked with each span's final value
+// as its phase closes (outside the counter lock). Consumers such as the
+// serving layer use it to harvest per-phase round totals live, including
+// from runs that later fail; pass nil to remove it.
+func (n *Network) SetSpanHook(hook func(Span)) {
+	n.counter.mu.Lock()
+	defer n.counter.mu.Unlock()
+	n.counter.spanHook = hook
 }
 
 // CountMessages adds n to the message counter (used by the message-passing
@@ -135,12 +170,22 @@ func (n *Network) Phase(name string) func() {
 	n.counter.mu.Unlock()
 	return func() {
 		n.counter.mu.Lock()
-		defer n.counter.mu.Unlock()
+		var closed *Span
 		for i, j := range n.counter.open {
 			if j == idx {
 				n.counter.open = append(n.counter.open[:i], n.counter.open[i+1:]...)
-				return
+				closed = &n.counter.spans[idx]
+				break
 			}
+		}
+		hook := n.counter.spanHook
+		var final Span
+		if closed != nil {
+			final = *closed
+		}
+		n.counter.mu.Unlock()
+		if hook != nil && closed != nil {
+			hook(final)
 		}
 	}
 }

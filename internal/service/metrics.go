@@ -1,0 +1,125 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"deltacoloring/internal/local"
+)
+
+// metrics is a tiny hand-rolled Prometheus registry: counters, gauges, one
+// wall-time histogram, and a per-phase round counter fed by the LOCAL
+// simulator's span tracing. It keeps the repository dependency-free while
+// emitting the standard text exposition format.
+type metrics struct {
+	mu sync.Mutex
+
+	jobsStarted   uint64
+	jobsCompleted uint64
+	jobsFailed    uint64
+	jobsRejected  uint64
+	cacheHits     uint64
+	cacheMisses   uint64
+
+	phaseRounds map[string]uint64
+
+	buckets      []float64 // upper bounds in seconds, ascending; +Inf implied
+	bucketCounts []uint64  // non-cumulative per-bucket counts, len = len(buckets)+1
+	durSum       float64
+	durCount     uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		phaseRounds:  make(map[string]uint64),
+		buckets:      []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10},
+		bucketCounts: make([]uint64, 8),
+	}
+}
+
+func (m *metrics) jobStarted()  { m.mu.Lock(); m.jobsStarted++; m.mu.Unlock() }
+func (m *metrics) jobFailed()   { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
+func (m *metrics) jobRejected() { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+func (m *metrics) cacheHit()    { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *metrics) cacheMiss()   { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+
+// jobCompleted records a successful run and its wall time.
+func (m *metrics) jobCompleted(d time.Duration) {
+	s := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobsCompleted++
+	m.durSum += s
+	m.durCount++
+	i := 0
+	for i < len(m.buckets) && s > m.buckets[i] {
+		i++
+	}
+	m.bucketCounts[i]++
+}
+
+// addSpan accumulates one closed phase span; it is the local.Network span
+// hook installed for every run.
+func (m *metrics) addSpan(sp local.Span) {
+	if sp.Rounds <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.phaseRounds[sp.Name] += uint64(sp.Rounds)
+	m.mu.Unlock()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// writeTo renders the registry in Prometheus text exposition format.
+// Gauges that live outside the registry (queue depth, worker count) are
+// passed in by the server at scrape time.
+func (m *metrics) writeTo(w io.Writer, queueDepth, workers int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("deltaserved_jobs_started_total", "Jobs picked up by a worker.", m.jobsStarted)
+	counter("deltaserved_jobs_completed_total", "Jobs that produced a verified coloring.", m.jobsCompleted)
+	counter("deltaserved_jobs_failed_total", "Jobs that ended in an error (including cancellations and panics).", m.jobsFailed)
+	counter("deltaserved_jobs_rejected_total", "Color requests rejected with 429 because the queue was full.", m.jobsRejected)
+	counter("deltaserved_cache_hits_total", "Color requests answered from the result cache.", m.cacheHits)
+	counter("deltaserved_cache_misses_total", "Color requests that missed the result cache.", m.cacheMisses)
+
+	fmt.Fprintf(w, "# HELP deltaserved_queue_depth Jobs currently waiting in the FIFO queue.\n# TYPE deltaserved_queue_depth gauge\ndeltaserved_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# HELP deltaserved_workers Size of the worker pool.\n# TYPE deltaserved_workers gauge\ndeltaserved_workers %d\n", workers)
+
+	fmt.Fprint(w, "# HELP deltaserved_phase_rounds_total LOCAL rounds charged per pipeline phase, harvested from local.Span tracing.\n# TYPE deltaserved_phase_rounds_total counter\n")
+	names := make([]string, 0, len(m.phaseRounds))
+	for name := range m.phaseRounds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "deltaserved_phase_rounds_total{phase=%q} %d\n", escapeLabel(name), m.phaseRounds[name])
+	}
+
+	fmt.Fprint(w, "# HELP deltaserved_job_duration_seconds Wall time of completed coloring runs.\n# TYPE deltaserved_job_duration_seconds histogram\n")
+	cum := uint64(0)
+	for i, ub := range m.buckets {
+		cum += m.bucketCounts[i]
+		fmt.Fprintf(w, "deltaserved_job_duration_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	fmt.Fprintf(w, "deltaserved_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.durCount)
+	fmt.Fprintf(w, "deltaserved_job_duration_seconds_sum %g\n", m.durSum)
+	fmt.Fprintf(w, "deltaserved_job_duration_seconds_count %d\n", m.durCount)
+}
+
+func trimFloat(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f), "0"), ".")
+}

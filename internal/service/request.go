@@ -1,0 +1,212 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"deltacoloring"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/graphio"
+)
+
+// ColorRequest is the body of POST /v1/color. Exactly one of EdgeList,
+// Graph, or Gen must be set.
+type ColorRequest struct {
+	// Algo selects the algorithm: "det" (Theorem 1, default) or "rand"
+	// (Theorem 2).
+	Algo string `json:"algo,omitempty"`
+	// Seed seeds the randomized algorithm (ignored for det).
+	Seed int64 `json:"seed,omitempty"`
+	// Paper selects the paper-exact parameters (ε = 1/63, needs Δ ⪆ 85)
+	// instead of the scaled preset.
+	Paper bool `json:"paper,omitempty"`
+	// EdgeList is a graph in the graphio edge-list format.
+	EdgeList string `json:"edge_list,omitempty"`
+	// Graph is an inline vertex-count + edge-pair spec.
+	Graph *GraphSpec `json:"graph,omitempty"`
+	// Gen names one of the built-in dense generator families.
+	Gen *GenSpec `json:"gen,omitempty"`
+	// Async makes the request return 202 with a job ID immediately;
+	// poll GET /v1/jobs/{id} for the result.
+	Async bool `json:"async,omitempty"`
+	// TimeoutMS caps the run's wall time (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// GraphSpec is an inline edge-pair graph.
+type GraphSpec struct {
+	N     int      `json:"n"`
+	Edges [][2]int `json:"edges"`
+}
+
+// GenSpec names a built-in dense family: hard (clique-bipartite), easy
+// (clique ring), or mixed (hard with easy patch). M is the family's size
+// parameter (cliques per side / ring length), Delta the clique size.
+type GenSpec struct {
+	Family string `json:"family"`
+	M      int    `json:"m"`
+	Delta  int    `json:"delta"`
+}
+
+// PhaseSpan mirrors local.Span with stable JSON field names.
+type PhaseSpan struct {
+	Name   string `json:"name"`
+	Rounds int    `json:"rounds"`
+}
+
+// ShatterStats mirrors the randomized algorithm's RandStats.
+type ShatterStats struct {
+	TNodesProposed int `json:"t_nodes_proposed"`
+	TNodesKept     int `json:"t_nodes_kept"`
+	Components     int `json:"components"`
+	MaxComponent   int `json:"max_component"`
+}
+
+// ColorResponse is the body of color and job responses. State is one of
+// "queued", "running", "done", or "failed".
+type ColorResponse struct {
+	JobID     string        `json:"job_id,omitempty"`
+	State     string        `json:"state"`
+	Cached    bool          `json:"cached,omitempty"`
+	N         int           `json:"n,omitempty"`
+	M         int           `json:"m,omitempty"`
+	Delta     int           `json:"delta,omitempty"`
+	Colors    []int         `json:"colors,omitempty"`
+	Rounds    int           `json:"rounds,omitempty"`
+	Spans     []PhaseSpan   `json:"spans,omitempty"`
+	Shatter   *ShatterStats `json:"shatter,omitempty"`
+	ElapsedMS float64       `json:"elapsed_ms,omitempty"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// parseRequest decodes and validates a ColorRequest body.
+func parseRequest(r io.Reader) (*ColorRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	req := &ColorRequest{}
+	if err := dec.Decode(req); err != nil {
+		return nil, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	switch req.Algo {
+	case "":
+		req.Algo = "det"
+	case "det", "rand":
+	default:
+		return nil, fmt.Errorf("unknown algo %q (want det or rand)", req.Algo)
+	}
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms must be non-negative")
+	}
+	sources := 0
+	for _, set := range []bool{req.EdgeList != "", req.Graph != nil, req.Gen != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of edge_list, graph, or gen is required")
+	}
+	return req, nil
+}
+
+// buildGraph materializes the request's graph source. maxN caps the vertex
+// count of every source before the big allocations happen.
+func buildGraph(req *ColorRequest, maxN int) (*graph.Graph, error) {
+	switch {
+	case req.EdgeList != "":
+		g, err := graphio.ReadMax(strings.NewReader(req.EdgeList), maxN)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	case req.Graph != nil:
+		if req.Graph.N < 0 || req.Graph.N > maxN {
+			return nil, fmt.Errorf("graph n=%d outside [0, %d]", req.Graph.N, maxN)
+		}
+		b := graph.NewBuilder(req.Graph.N)
+		for _, e := range req.Graph.Edges {
+			b.AddEdge(e[0], e[1])
+		}
+		return b.Build()
+	case req.Gen != nil:
+		return buildGen(req.Gen, maxN)
+	}
+	return nil, fmt.Errorf("no graph source")
+}
+
+// buildGen validates a generator spec upfront: the graph constructors panic
+// on out-of-range arguments, and the service promises 400s instead.
+func buildGen(spec *GenSpec, maxN int) (*graph.Graph, error) {
+	switch spec.Family {
+	case "hard", "easy", "mixed":
+	default:
+		return nil, fmt.Errorf("unknown gen family %q (want hard, easy, or mixed)", spec.Family)
+	}
+	// Cap m and delta individually first so n = 2*m*delta cannot overflow
+	// (maxN is far below sqrt(MaxInt)).
+	if spec.M > maxN || spec.Delta > maxN || (spec.M > 0 && spec.Delta > 0 && 2*spec.M*spec.Delta > maxN) {
+		return nil, fmt.Errorf("gen %s m=%d delta=%d exceeds the %d-vertex limit", spec.Family, spec.M, spec.Delta, maxN)
+	}
+	switch spec.Family {
+	case "hard":
+		if spec.Delta < 2 || spec.M < spec.Delta {
+			return nil, fmt.Errorf("gen hard needs 2 <= delta <= m, got m=%d delta=%d", spec.M, spec.Delta)
+		}
+		g, _ := graph.HardCliqueBipartite(spec.M, spec.Delta)
+		return g, nil
+	case "easy":
+		if spec.M < 4 || spec.Delta < 4 || spec.Delta%2 != 0 {
+			return nil, fmt.Errorf("gen easy needs m >= 4 and even delta >= 4, got m=%d delta=%d", spec.M, spec.Delta)
+		}
+		g, _ := graph.EasyCliqueRing(spec.M, spec.Delta)
+		return g, nil
+	default: // mixed
+		if spec.M < 4 || spec.Delta < 3 || spec.M < spec.Delta {
+			return nil, fmt.Errorf("gen mixed needs m >= max(4, delta) and delta >= 3, got m=%d delta=%d", spec.M, spec.Delta)
+		}
+		g, _ := graph.HardWithEasyPatch(spec.M, spec.Delta)
+		return g, nil
+	}
+}
+
+// cacheKey derives the canonical result-cache key: the graph's structural
+// hash plus every knob that changes the output. Randomized runs include the
+// seed, so identical (graph, seed) pairs share an entry.
+func cacheKey(g *graph.Graph, req *ColorRequest) string {
+	key := fmt.Sprintf("%016x|%s|paper=%t", graphio.CanonicalHash(g), req.Algo, req.Paper)
+	if req.Algo == "rand" {
+		key += fmt.Sprintf("|seed=%d", req.Seed)
+	}
+	return key
+}
+
+// resultResponse converts a run result into the wire shape.
+func resultResponse(g *graph.Graph, res *deltacoloring.Result, shatter *deltacoloring.RandStats, elapsedMS float64) *ColorResponse {
+	resp := &ColorResponse{
+		State:     "done",
+		N:         g.N(),
+		M:         g.M(),
+		Delta:     g.MaxDegree(),
+		Colors:    res.Colors,
+		Rounds:    res.Rounds,
+		ElapsedMS: elapsedMS,
+	}
+	for _, sp := range res.Spans {
+		if sp.Rounds > 0 {
+			resp.Spans = append(resp.Spans, PhaseSpan{Name: sp.Name, Rounds: sp.Rounds})
+		}
+	}
+	if shatter != nil {
+		resp.Shatter = &ShatterStats{
+			TNodesProposed: shatter.TNodesProposed,
+			TNodesKept:     shatter.TNodesKept,
+			Components:     shatter.Components,
+			MaxComponent:   shatter.MaxComponent,
+		}
+	}
+	return resp
+}

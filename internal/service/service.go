@@ -1,0 +1,465 @@
+// Package service turns the Δ-coloring pipeline into a long-running HTTP
+// serving subsystem: a JSON API over a bounded worker pool with a FIFO job
+// queue and backpressure, an LRU result cache keyed by the canonical graph
+// hash, per-request deadlines enforced at LOCAL round granularity, panic
+// isolation per job, Prometheus-text metrics (including per-phase round
+// totals harvested from the simulator's span tracing), and graceful
+// shutdown that drains in-flight jobs.
+//
+// Endpoints:
+//
+//	POST /v1/color     run (or fetch from cache) a coloring; async with {"async": true}
+//	GET  /v1/jobs/{id} poll an async job
+//	GET  /healthz      liveness + queue snapshot
+//	GET  /metrics      Prometheus text exposition
+//
+// Everything is standard library only, like the rest of the repository.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deltacoloring"
+	"deltacoloring/internal/graph"
+)
+
+// Config sizes the server. The zero value is usable: every field falls back
+// to the documented default.
+type Config struct {
+	// Workers is the worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds the FIFO job queue; a full queue answers 429
+	// (default 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries (default 256).
+	CacheSize int
+	// DefaultTimeout caps a run when the request names none (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts (default 5m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds the request body (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxVertices bounds the vertex count of any requested graph, keeping
+	// a few header bytes from committing the server to a giant allocation
+	// (default 1<<20).
+	MaxVertices int
+	// MaxJobs bounds the retained job table; finished jobs are evicted
+	// oldest-first beyond it (default 1024).
+	MaxJobs int
+
+	// runHook, when set, runs on the worker goroutine just before a job's
+	// pipeline starts. It is a test seam for making saturation and slow
+	// jobs deterministic.
+	runHook func(*job)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxVertices <= 0 {
+		c.MaxVertices = 1 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// job tracks one queued coloring run through its lifecycle.
+type job struct {
+	id     string
+	req    *ColorRequest
+	g      *graph.Graph
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  string // "queued" -> "running" -> "done" | "failed"
+	resp   *ColorResponse
+	status int // HTTP status a sync waiter should use
+	done   chan struct{}
+}
+
+func (j *job) snapshot() (*ColorResponse, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.resp != nil {
+		return j.resp, j.status
+	}
+	return &ColorResponse{JobID: j.id, State: j.state}, http.StatusOK
+}
+
+func (j *job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// finish publishes the job's terminal response. resp must already carry
+// the job ID and be fully built: it may simultaneously be visible through
+// the result cache, so no mutation after this point.
+func (j *job) finish(resp *ColorResponse, status int) {
+	j.mu.Lock()
+	j.state = resp.State
+	j.resp = resp
+	j.status = status
+	j.mu.Unlock()
+	// Close before cancel: waiters woken by the cancellation must already
+	// see the job as finished.
+	close(j.done)
+	j.cancel()
+}
+
+// Server is the serving subsystem; create with New, expose via Handler, and
+// stop with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	met   *metrics
+	cache *lruCache
+
+	queue   chan *job
+	qmu     sync.RWMutex // guards queue sends against close
+	closed  atomic.Bool
+	workers sync.WaitGroup
+
+	jmu      sync.Mutex
+	jobs     map[string]*job
+	jobOrder []string
+	jobSeq   uint64
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		met:   newMetrics(),
+		cache: newLRU(cfg.CacheSize),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	s.mux.HandleFunc("POST /v1/color", s.handleColor)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops accepting work and drains the queue: every already
+// accepted job still runs to completion (or cancellation by its own
+// deadline). It returns ctx.Err if draining outlives ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.qmu.Lock()
+	if !s.closed.Swap(true) {
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+var (
+	errQueueFull    = errors.New("job queue is full")
+	errShuttingDown = errors.New("server is shutting down")
+)
+
+func (s *Server) enqueue(j *job) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed.Load() {
+		return errShuttingDown
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// registerJob assigns an ID, retains the job for polling, and evicts the
+// oldest finished jobs beyond the retention bound.
+func (s *Server) registerJob(j *job) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	s.jobSeq++
+	j.id = fmt.Sprintf("j%08d", s.jobSeq)
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	if len(s.jobs) <= s.cfg.MaxJobs {
+		return
+	}
+	keep := s.jobOrder[:0]
+	for _, id := range s.jobOrder {
+		old, live := s.jobs[id]
+		if !live {
+			continue
+		}
+		if len(s.jobs) > s.cfg.MaxJobs && old.terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.jobOrder = keep
+}
+
+// unregisterJob drops a job that never made it into the queue.
+func (s *Server) unregisterJob(j *job) {
+	s.jmu.Lock()
+	delete(s.jobs, j.id)
+	s.jmu.Unlock()
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == "done" || j.state == "failed"
+}
+
+// worker pops jobs until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one coloring with panic isolation: a panicking pipeline
+// fails its own job and leaves the worker alive.
+func (s *Server) runJob(j *job) {
+	s.met.jobStarted()
+	j.setState("running")
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.jobFailed()
+			j.finish(&ColorResponse{JobID: j.id, State: "failed", Error: fmt.Sprintf("internal panic: %v", r)},
+				http.StatusInternalServerError)
+		}
+	}()
+	if hook := s.cfg.runHook; hook != nil {
+		hook(j)
+	}
+	if err := j.ctx.Err(); err != nil {
+		s.failJob(j, err)
+		return
+	}
+	opts := &deltacoloring.RunOptions{SpanHook: s.met.addSpan}
+	var (
+		res     *deltacoloring.Result
+		shatter *deltacoloring.RandStats
+		err     error
+	)
+	if j.req.Algo == "rand" {
+		p := deltacoloring.ScaledRandomizedParams()
+		if j.req.Paper {
+			p = deltacoloring.DefaultRandomizedParams()
+		}
+		var rr *deltacoloring.RandomizedResult
+		rr, err = deltacoloring.RandomizedContext(j.ctx, j.g, p, j.req.Seed, opts)
+		if rr != nil {
+			res, shatter = &rr.Result, &rr.Rand
+		}
+	} else {
+		p := deltacoloring.ScaledParams()
+		if j.req.Paper {
+			p = deltacoloring.DefaultParams()
+		}
+		res, err = deltacoloring.DeterministicContext(j.ctx, j.g, p, opts)
+	}
+	if err == nil {
+		err = deltacoloring.Verify(j.g, res.Colors)
+	}
+	if err != nil {
+		s.failJob(j, err)
+		return
+	}
+	elapsed := time.Since(start)
+	resp := resultResponse(j.g, res, shatter, float64(elapsed.Microseconds())/1000)
+	resp.JobID = j.id
+	if !j.req.NoCache {
+		s.cache.add(j.key, resp)
+	}
+	s.met.jobCompleted(elapsed)
+	j.finish(resp, http.StatusOK)
+}
+
+// failJob maps a pipeline error onto an HTTP status and finishes the job.
+func (s *Server) failJob(j *job, err error) {
+	s.met.jobFailed()
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	case errors.Is(err, deltacoloring.ErrNotDense), errors.Is(err, deltacoloring.ErrBrooks):
+		status = http.StatusUnprocessableEntity
+	}
+	j.finish(&ColorResponse{JobID: j.id, State: "failed", Error: err.Error()}, status)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, &ColorResponse{State: "failed", Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := parseRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g, err := buildGraph(req, s.cfg.MaxVertices)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
+		return
+	}
+	key := cacheKey(g, req)
+	if !req.NoCache {
+		if resp, ok := s.cache.get(key); ok {
+			s.met.cacheHit()
+			hit := *resp
+			hit.JobID = ""
+			hit.Cached = true
+			writeJSON(w, http.StatusOK, &hit)
+			return
+		}
+		s.met.cacheMiss()
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	parent := context.Background()
+	if !req.Async {
+		// Sync callers abandon the run when they go away or time out.
+		parent = r.Context()
+	}
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	j := &job{req: req, g: g, key: key, ctx: ctx, cancel: cancel, state: "queued", done: make(chan struct{})}
+	s.registerJob(j)
+
+	if err := s.enqueue(j); err != nil {
+		cancel()
+		s.unregisterJob(j)
+		if errors.Is(err, errQueueFull) {
+			s.met.jobRejected()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, &ColorResponse{JobID: j.id, State: "queued"})
+		return
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	select {
+	case <-j.done:
+		// Finished (the job's own completion also cancels ctx, so a woken
+		// waiter must prefer the result).
+		resp, status := j.snapshot()
+		writeJSON(w, status, resp)
+	default:
+		// The deadline fired while the job was still queued or running;
+		// the cancelled context makes the worker abandon it promptly.
+		status := http.StatusGatewayTimeout
+		if errors.Is(ctx.Err(), context.Canceled) {
+			status = 499
+		}
+		writeError(w, status, "%v", ctx.Err())
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.jmu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.jmu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	resp, _ := j.snapshot()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ok"
+	if s.closed.Load() {
+		status = http.StatusServiceUnavailable
+		state = "shutting down"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":      state,
+		"queue_depth": len(s.queue),
+		"workers":     s.cfg.Workers,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writeTo(w, len(s.queue), s.cfg.Workers)
+}
