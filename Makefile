@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check race serve bench report report-full fuzz clean
+.PHONY: all build vet test test-short check race serve bench bench-smoke report report-full fuzz clean
 
 # `check` is the default CI path: vet + the full test suite under -race.
 all: build check
@@ -32,6 +32,12 @@ serve:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# One iteration of every benchmark: catches bit-rot in benchmark code and
+# gross perf/alloc regressions without the full calibration cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
+	$(GO) run ./cmd/deltabench -bench -bench-iters 1 -bench-out /dev/null
+
 # The evaluation tables of EXPERIMENTS.md (standard scale, a few minutes).
 report:
 	$(GO) run ./cmd/deltabench -scale standard
@@ -44,6 +50,7 @@ fuzz:
 	$(GO) test -fuzz FuzzNewGraph -fuzztime 30s .
 	$(GO) test -fuzz FuzzVerify -fuzztime 30s .
 	$(GO) test -fuzz FuzzGraphioRead -fuzztime 30s .
+	$(GO) test -fuzz FuzzBuilder -fuzztime 30s ./internal/graph/
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"deltacoloring"
+)
+
+// benchRecord is one entry of the -bench mode's JSON report: the standard
+// -benchmem triple (time, bytes, allocation count per op) plus the
+// pipeline's round count, so allocation regressions and behavioral drift
+// show up in the same artifact (see BENCH_csr.json for the tracked
+// snapshot).
+type benchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Rounds      int     `json:"rounds"`
+}
+
+type benchReport struct {
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go_version"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// measure runs fn iters times and reports per-op wall time and allocation
+// figures from the runtime's global allocation counters — the same numbers
+// `go test -benchmem` derives, but deterministic in iteration count and
+// available to a plain binary.
+func measure(name string, iters int, fn func() int) benchRecord {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rounds := 0
+	for i := 0; i < iters; i++ {
+		rounds = fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchRecord{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		Rounds:      rounds,
+	}
+}
+
+// runBench executes the flagship end-to-end pipelines with allocation
+// accounting and writes a JSON report: the machine-readable analogue of
+// `go test -bench M16 -benchmem`.
+func runBench(w io.Writer, iters int) error {
+	g := deltacoloring.GenHardCliqueBipartite(16, 16)
+	records := []benchRecord{
+		measure("deterministic_m16", iters, func() int {
+			res, err := deltacoloring.Deterministic(g, deltacoloring.ScaledParams())
+			if err != nil {
+				panic(err)
+			}
+			return res.Rounds
+		}),
+		measure("deterministic_m16_parallel", iters, func() int {
+			opts := &deltacoloring.RunOptions{Workers: -1}
+			res, err := deltacoloring.DeterministicContext(nil, g, deltacoloring.ScaledParams(), opts)
+			if err != nil {
+				panic(err)
+			}
+			return res.Rounds
+		}),
+		measure("randomized_m16", iters, func() int {
+			res, err := deltacoloring.Randomized(g, deltacoloring.ScaledRandomizedParams(), 1)
+			if err != nil {
+				panic(err)
+			}
+			return res.Rounds
+		}),
+	}
+	report := benchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: records,
+	}
+	for _, r := range records {
+		fmt.Fprintf(os.Stderr, "%-28s %4d iter  %12.0f ns/op  %10d B/op  %8d allocs/op  %4d rounds\n",
+			r.Name, r.Iterations, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Rounds)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&report)
+}

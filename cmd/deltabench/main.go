@@ -4,9 +4,14 @@
 // Usage:
 //
 //	deltabench [-scale quick|standard|full] [-only E1,E5,...]
+//	deltabench -bench [-bench-iters n] [-bench-out file.json]
 //
 // Standard scale finishes in a few minutes; full scale adds the paper-exact
 // Δ=126 instances and large n points and can take considerably longer.
+// -bench skips the experiment tables and instead measures the end-to-end
+// pipelines with -benchmem-style allocation accounting, emitting a JSON
+// report (BENCH_csr.json tracks the before/after snapshot of the CSR
+// refactor).
 package main
 
 import (
@@ -30,8 +35,26 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("deltabench", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", "standard", "experiment scale: quick, standard, or full")
 	onlyFlag := fs.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all")
+	benchFlag := fs.Bool("bench", false, "run the allocation benchmarks instead of the experiment tables")
+	benchIters := fs.Int("bench-iters", 5, "iterations per benchmark in -bench mode (1 for a smoke run)")
+	benchOut := fs.String("bench-out", "", "write the -bench JSON report to this file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchFlag {
+		if *benchIters < 1 {
+			return fmt.Errorf("bench-iters must be at least 1")
+		}
+		out := os.Stdout
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		return runBench(out, *benchIters)
 	}
 	var scale bench.Scale
 	switch *scaleFlag {

@@ -127,6 +127,7 @@ func Deterministic(g *Graph, p Params) (*Result, error) {
 // ctx.Err(). opts may be nil.
 func DeterministicContext(ctx context.Context, g *Graph, p Params, opts *RunOptions) (res *Result, err error) {
 	net := newNetwork(ctx, g, opts)
+	defer net.Close()
 	defer recoverInterrupt(&err)
 	cres, cerr := core.ColorDeterministic(net, p)
 	if cerr != nil {
@@ -149,6 +150,7 @@ func Randomized(g *Graph, p RandomizedParams, seed int64) (*RandomizedResult, er
 // DeterministicContext for the contract.
 func RandomizedContext(ctx context.Context, g *Graph, p RandomizedParams, seed int64, opts *RunOptions) (res *RandomizedResult, err error) {
 	net := newNetwork(ctx, g, opts)
+	defer net.Close()
 	defer recoverInterrupt(&err)
 	cres, cerr := core.ColorRandomized(net, p, rand.New(rand.NewSource(seed)))
 	if cerr != nil {

@@ -68,18 +68,37 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 	// knows its 2-ball and can evaluate friendship and denseness locally.
 	net.Charge(2)
 	friendThreshold := int(math.Ceil((1 - internalEta) * float64(delta)))
-	friends := make([][]int, n)
+	var fpairs []int32
 	for v := 0; v < n; v++ {
-		for _, w := range g.Neighbors(v) {
+		for _, nw := range g.Neighbors(v) {
+			w := int(nw)
 			if v < w && g.CommonNeighbors(v, w) >= friendThreshold {
-				friends[v] = append(friends[v], w)
-				friends[w] = append(friends[w], v)
+				fpairs = append(fpairs, int32(v), int32(w))
 			}
 		}
 	}
+	// Counting-sort the friendship pairs into a CSR adjacency (mirrors the
+	// graph builder): fadj[foff[v]:foff[v+1]] lists v's friends.
+	foff := make([]int32, n+1)
+	for _, v := range fpairs {
+		foff[v+1]++
+	}
+	for v := 0; v < n; v++ {
+		foff[v+1] += foff[v]
+	}
+	fadj := make([]int32, len(fpairs))
+	fcur := make([]int32, n)
+	copy(fcur, foff[:n])
+	for i := 0; i < len(fpairs); i += 2 {
+		u, w := fpairs[i], fpairs[i+1]
+		fadj[fcur[u]] = w
+		fcur[u]++
+		fadj[fcur[w]] = u
+		fcur[w]++
+	}
 	dense := make([]bool, n)
 	for v := 0; v < n; v++ {
-		dense[v] = len(friends[v]) >= friendThreshold
+		dense[v] = int(foff[v+1]-foff[v]) >= friendThreshold
 	}
 
 	// Components of the friend graph among dense vertices. The theory
@@ -100,18 +119,23 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 		queue := []int{s}
 		comp[s] = id
 		for q := 0; q < len(queue); q++ {
-			for _, w := range friends[queue[q]] {
+			v := queue[q]
+			for _, w := range fadj[foff[v]:foff[v+1]] {
 				if dense[w] && comp[w] == Sparse {
 					comp[w] = id
-					queue = append(queue, w)
+					queue = append(queue, int(w))
 				}
 			}
 		}
 		sort.Ints(queue)
 		comps = append(comps, queue)
 	}
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
 	for i, members := range comps {
-		if friendDiameter(friends, members) > 4 {
+		if friendDiameter(foff, fadj, comp, i, members, dist) > 4 {
 			for _, v := range members {
 				comp[v] = Sparse
 			}
@@ -149,18 +173,9 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 			if comp[v] != Sparse {
 				continue
 			}
-			counts := map[int]int{}
-			for _, w := range g.Neighbors(v) {
-				if comp[w] != Sparse {
-					counts[comp[w]]++
-				}
-			}
-			for c, cnt := range counts {
-				if float64(cnt) > absorbAbove {
-					comp[v] = c
-					changed = true
-					break
-				}
+			if c := majorityClique(g, comp, v, Sparse, absorbAbove); c != Sparse {
+				comp[v] = c
+				changed = true
 			}
 		}
 		if !changed {
@@ -170,7 +185,7 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 
 	// (i): dissolve components with out-of-range sizes.
 	net.Charge(1)
-	sizes := make(map[int]int)
+	sizes := make([]int, len(comps))
 	for _, c := range comp {
 		if c != Sparse {
 			sizes[c]++
@@ -198,15 +213,18 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 	}
 
 	// Renumber cliques densely and build the final structure.
-	remap := map[int]int{}
+	remap := make([]int, len(comps))
+	for i := range remap {
+		remap[i] = Sparse
+	}
 	for v := 0; v < n; v++ {
 		c := comp[v]
 		if c == Sparse {
 			a.CliqueOf[v] = Sparse
 			continue
 		}
-		id, ok := remap[c]
-		if !ok {
+		id := remap[c]
+		if id == Sparse {
 			id = len(a.Cliques)
 			remap[c] = id
 			a.Cliques = append(a.Cliques, nil)
@@ -217,36 +235,75 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 	return a, nil
 }
 
-func friendDiameter(friends [][]int, members []int) int {
-	in := map[int]bool{}
-	for _, v := range members {
-		in[v] = true
-	}
+// friendDiameter BFS-explores the friend graph (foff/fadj CSR) restricted to
+// component id, from every member. dist is an n-sized scratch array that must
+// be all -1 on entry; it is restored to -1 before returning.
+func friendDiameter(foff, fadj []int32, comp []int, id int, members []int, dist []int32) int {
 	worst := 0
+	queue := make([]int32, 0, len(members))
 	for _, s := range members {
-		dist := map[int]int{s: 0}
-		queue := []int{s}
+		queue = queue[:0]
+		queue = append(queue, int32(s))
+		dist[s] = 0
 		for q := 0; q < len(queue); q++ {
 			v := queue[q]
-			for _, w := range friends[v] {
-				if in[w] {
-					if _, seen := dist[w]; !seen {
-						dist[w] = dist[v] + 1
-						queue = append(queue, w)
+			d := dist[v] + 1
+			for _, w := range fadj[foff[v]:foff[v+1]] {
+				if comp[w] == id && dist[w] < 0 {
+					dist[w] = d
+					if int(d) > worst {
+						worst = int(d)
 					}
+					queue = append(queue, w)
 				}
 			}
 		}
-		for _, d := range dist {
-			if d > worst {
-				worst = d
-			}
+		visited := len(queue)
+		for _, v := range queue {
+			dist[v] = -1
 		}
-		if len(dist) != len(members) {
+		if visited != len(members) {
 			return 1 << 30 // disconnected in the friend graph: treat as huge
 		}
 	}
 	return worst
+}
+
+// majorityClique returns the clique label (other than skip) that strictly
+// more than `above` of v's neighbors carry, or Sparse if none does. Because
+// above > Δ/2 and v has at most Δ neighbors, such a label is a strict
+// majority among the qualifying neighbors, so a Boyer-Moore vote identifies
+// the unique candidate and a second pass verifies the count — no map needed.
+func majorityClique(g *graph.Graph, comp []int, v, skip int, above float64) int {
+	cand, votes := Sparse, 0
+	nbrs := g.Neighbors(v)
+	for _, w := range nbrs {
+		c := comp[w]
+		if c == Sparse || c == skip {
+			continue
+		}
+		switch {
+		case votes == 0:
+			cand, votes = c, 1
+		case c == cand:
+			votes++
+		default:
+			votes--
+		}
+	}
+	if cand == Sparse {
+		return Sparse
+	}
+	cnt := 0
+	for _, w := range nbrs {
+		if comp[w] == cand {
+			cnt++
+		}
+	}
+	if float64(cnt) > above {
+		return cand
+	}
+	return Sparse
 }
 
 func insideCount(g *graph.Graph, comp []int, v, c int) int {
@@ -261,16 +318,8 @@ func insideCount(g *graph.Graph, comp []int, v, c int) int {
 
 func violatingClique(g *graph.Graph, comp []int, absorbAbove float64) int {
 	for v := 0; v < g.N(); v++ {
-		counts := map[int]int{}
-		for _, w := range g.Neighbors(v) {
-			if comp[w] != Sparse && comp[w] != comp[v] {
-				counts[comp[w]]++
-			}
-		}
-		for c, cnt := range counts {
-			if float64(cnt) > absorbAbove {
-				return c
-			}
+		if c := majorityClique(g, comp, v, comp[v], absorbAbove); c != Sparse {
+			return c
 		}
 	}
 	return Sparse
@@ -332,16 +381,9 @@ func (a *ACD) Verify(g *graph.Graph) error {
 		}
 	}
 	for v := 0; v < g.N(); v++ {
-		counts := map[int]int{}
-		for _, w := range g.Neighbors(v) {
-			if c := a.CliqueOf[w]; c != Sparse && c != a.CliqueOf[v] {
-				counts[c]++
-			}
-		}
-		for c, cnt := range counts {
-			if float64(cnt) > maxOutside {
-				return fmt.Errorf("acd: outsider %d has %d neighbors in clique %d (max %.2f)", v, cnt, c, maxOutside)
-			}
+		if c := majorityClique(g, a.CliqueOf, v, a.CliqueOf[v], maxOutside); c != Sparse {
+			cnt := insideCount(g, a.CliqueOf, v, c)
+			return fmt.Errorf("acd: outsider %d has %d neighbors in clique %d (max %.2f)", v, cnt, c, maxOutside)
 		}
 	}
 	total := 0
@@ -360,7 +402,7 @@ func (a *ACD) ExternalNeighbors(g *graph.Graph, v int) []int {
 	var out []int
 	for _, w := range g.Neighbors(v) {
 		if a.CliqueOf[w] != a.CliqueOf[v] || a.CliqueOf[v] == Sparse {
-			out = append(out, w)
+			out = append(out, int(w))
 		}
 	}
 	return out

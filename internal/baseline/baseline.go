@@ -81,8 +81,8 @@ func brooksComponent(g *graph.Graph, c *coloring.Partial, comp []int, delta int)
 			col = 1 - col
 			next := -1
 			for _, w := range g.Neighbors(v) {
-				if w != prev {
-					next = w
+				if int(w) != prev {
+					next = int(w)
 					break
 				}
 			}
@@ -100,7 +100,7 @@ func brooksComponent(g *graph.Graph, c *coloring.Partial, comp []int, delta int)
 		nv := g.Neighbors(v)
 		for i := 0; i < len(nv); i++ {
 			for j := i + 1; j < len(nv); j++ {
-				u, w := nv[i], nv[j]
+				u, w := int(nv[i]), int(nv[j])
 				if g.HasEdge(u, w) {
 					continue
 				}
@@ -132,7 +132,8 @@ func colorTreeFrom(g *graph.Graph, c *coloring.Partial, sub []int, root, delta i
 	order := []int{root}
 	seen := map[int]bool{root: true}
 	for q := 0; q < len(order); q++ {
-		for _, w := range g.Neighbors(order[q]) {
+		for _, nw := range g.Neighbors(order[q]) {
+			w := int(nw)
 			if in[w] && !seen[w] {
 				seen[w] = true
 				order = append(order, w)
@@ -163,7 +164,8 @@ func connectedWithout(g *graph.Graph, comp []int, inComp map[int]bool, v, u, w i
 	seen := map[int]bool{v: true}
 	queue := []int{v}
 	for q := 0; q < len(queue); q++ {
-		for _, x := range g.Neighbors(queue[q]) {
+		for _, nx := range g.Neighbors(queue[q]) {
+			x := int(nx)
 			if inComp[x] && x != u && x != w && !seen[x] {
 				seen[x] = true
 				queue = append(queue, x)
@@ -366,7 +368,7 @@ func LoopholeLayered(net *local.Network, maxLayers int) (*coloring.Partial, int,
 			for _, w := range g.Neighbors(v) {
 				if layer[w] == -1 {
 					layer[w] = depth
-					next = append(next, w)
+					next = append(next, int(w))
 				}
 			}
 		}

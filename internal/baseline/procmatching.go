@@ -48,7 +48,7 @@ func (p *matchProc) Init(v int, net *local.Network) []local.Outgoing {
 	p.proposedTo = -1
 	p.alive = make(map[int]bool, p.g.Degree(v))
 	for _, w := range p.g.Neighbors(v) {
-		p.alive[w] = true
+		p.alive[int(w)] = true
 	}
 	return p.propose()
 }
@@ -76,8 +76,8 @@ func (p *matchProc) matchWith(w int) []local.Outgoing {
 	p.done = true
 	outs := make([]local.Outgoing, 0, p.g.Degree(p.v))
 	for _, x := range p.g.Neighbors(p.v) {
-		if x != w {
-			outs = append(outs, local.Outgoing{To: x, Payload: msgMatched{}})
+		if int(x) != w {
+			outs = append(outs, local.Outgoing{To: int(x), Payload: msgMatched{}})
 		}
 	}
 	return outs

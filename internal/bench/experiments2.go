@@ -162,8 +162,8 @@ func adversarialIDs(g *graph.Graph) *graph.Graph {
 			b.SetID(v, uint64(v-half))
 		}
 		for _, w := range g.Neighbors(v) {
-			if v < w {
-				b.AddEdge(v, w)
+			if v < int(w) {
+				b.AddEdge(v, int(w))
 			}
 		}
 	}

@@ -101,7 +101,8 @@ func (ec *easyColorer) run() error {
 	for depth := 1; depth <= hp.p.Layers && len(frontier) > 0; depth++ {
 		var next []int
 		for _, v := range frontier {
-			for _, w := range g.Neighbors(v) {
+			for _, nw := range g.Neighbors(v) {
+				w := int(nw)
 				if layer[w] == -1 && hp.isActive(w) && !out.Colored(w) {
 					layer[w] = depth
 					next = append(next, w)
@@ -187,7 +188,7 @@ func loopholeGraph(g *graph.Graph, voted []*loophole.Loophole) (*graph.Graph, er
 	for i, l := range voted {
 		for _, v := range l.Verts {
 			for _, w := range g.Neighbors(v) {
-				for _, j := range byVertex[w] {
+				for _, j := range byVertex[int(w)] {
 					addPair(i, j)
 				}
 			}

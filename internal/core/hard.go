@@ -137,7 +137,8 @@ func newHardPipeline(net *local.Network, a *acd.ACD, spec instanceSpec,
 		unusable := 0
 		for _, v := range hp.members(ci) {
 			hasExternalHard := false
-			for _, w := range g.Neighbors(v) {
+			for _, nw := range g.Neighbors(v) {
+				w := int(nw)
 				if hp.hardOf[w] >= 0 && hp.hardOf[w] != ci {
 					hasExternalHard = true
 					if v < w {
@@ -255,7 +256,8 @@ func (hp *hardPipeline) phase1HEG() error {
 			// Minimum-ID external neighbor in a hard clique; maximality of
 			// F1 guarantees it is matched.
 			best := -1
-			for _, w := range g.Neighbors(v) {
+			for _, nw := range g.Neighbors(v) {
+				w := int(nw)
 				if hp.hardOf[w] >= 0 && hp.hardOf[w] != ci {
 					if best == -1 || g.ID(w) < g.ID(best) {
 						best = w
@@ -603,7 +605,7 @@ func (hp *hardPipeline) phase4APairs() error {
 	for i, tr := range hp.triads {
 		for _, v := range [2]int{tr.PairIn, tr.PairOut} {
 			for _, w := range hp.g.Neighbors(v) {
-				if j, ok := owner[w]; ok && j > i {
+				if j, ok := owner[int(w)]; ok && j > i {
 					b.AddEdge(i, j)
 				}
 			}
@@ -666,7 +668,7 @@ func (hp *hardPipeline) phase4BRest() error {
 			}
 			hasOutside := false
 			for _, w := range g.Neighbors(v) {
-				if hp.hardOf[w] < 0 && !hp.out.Colored(w) {
+				if hp.hardOf[w] < 0 && !hp.out.Colored(int(w)) {
 					hasOutside = true
 					break
 				}

@@ -157,7 +157,8 @@ func ColorRandomized(net *local.Network, rp RandomizedParams, rng *rand.Rand) (*
 	for depth := 1; depth <= rp.HappyRadius; depth++ {
 		var next []int
 		for _, v := range frontier {
-			for _, w := range g.Neighbors(v) {
+			for _, nw := range g.Neighbors(v) {
+				w := int(nw)
 				if !happy[w] && hardOf[w] >= 0 && !out.Colored(w) {
 					happy[w] = true
 					next = append(next, w)
@@ -260,7 +261,7 @@ func placeTNodes(g *graph.Graph, a *acd.ACD, cl *loophole.Classification,
 			u := members[i]
 			for _, w := range g.Neighbors(u) {
 				if hardOf[w] >= 0 && hardOf[w] != ci {
-					tr.Slack, tr.PairOut = u, w
+					tr.Slack, tr.PairOut = u, int(w)
 					break
 				}
 			}
@@ -363,7 +364,8 @@ func colorHappyLayers(net *local.Network, g *graph.Graph, out *coloring.Partial,
 	for depth := 1; depth <= radius && len(frontier) > 0; depth++ {
 		var next []int
 		for _, v := range frontier {
-			for _, w := range g.Neighbors(v) {
+			for _, nw := range g.Neighbors(v) {
+				w := int(nw)
 				if layer[w] == -1 && hardOf[w] >= 0 && !out.Colored(w) {
 					layer[w] = depth
 					next = append(next, w)
@@ -413,7 +415,8 @@ func componentsOf(g *graph.Graph, in func(int) bool) [][]int {
 		comp := []int{s}
 		seen[s] = true
 		for q := 0; q < len(comp); q++ {
-			for _, w := range g.Neighbors(comp[q]) {
+			for _, nw := range g.Neighbors(comp[q]) {
+				w := int(nw)
 				if !seen[w] && in(w) {
 					seen[w] = true
 					comp = append(comp, w)
@@ -456,7 +459,7 @@ func colorComponent(compNet *local.Network, a *acd.ACD, cl *loophole.Classificat
 				continue
 			}
 			for _, w := range g.Neighbors(v) {
-				if !active[w] && !out.Colored(w) {
+				if !active[w] && !out.Colored(int(w)) {
 					slackVert = v
 					break
 				}

@@ -2,28 +2,44 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate edge
 // insertions are tolerated and collapsed; self-loops are rejected at Build
 // time. The zero Builder is not usable; create one with NewBuilder.
+//
+// The builder stores the raw endpoint pairs in one flat array and Build
+// counting-sorts them straight into the graph's CSR layout, so construction
+// performs O(1) allocations regardless of the vertex count (no intermediate
+// per-vertex adjacency slices).
 type Builder struct {
-	n    int
-	adj  [][]int
-	ids  []uint64
-	bad  []string
-	seal bool
+	n     int
+	pairs []int32 // flattened (u, v) endpoint pairs in insertion order
+	ids   []uint64
+	bad   []string
+	seal  bool
 }
 
 // NewBuilder returns a builder for a graph on n vertices with default
 // IDs (ID(v) = v).
 func NewBuilder(n int) *Builder {
-	b := &Builder{n: n, adj: make([][]int, n), ids: make([]uint64, n)}
+	if n < 0 || n > MaxN {
+		panic(fmt.Sprintf("graph: vertex count %d out of range [0, %d]", n, MaxN))
+	}
+	b := &Builder{n: n, ids: make([]uint64, n)}
 	for v := 0; v < n; v++ {
 		b.ids[v] = uint64(v)
 	}
 	return b
+}
+
+// Grow hints that about m further AddEdge calls are coming, reserving
+// capacity for them in one allocation.
+func (b *Builder) Grow(m int) {
+	if m > 0 {
+		b.pairs = slices.Grow(b.pairs, 2*m)
+	}
 }
 
 // AddEdge records the undirected edge {u, v}. Out-of-range endpoints and
@@ -37,8 +53,7 @@ func (b *Builder) AddEdge(u, v int) {
 		b.bad = append(b.bad, fmt.Sprintf("self-loop at %d", u))
 		return
 	}
-	b.adj[u] = append(b.adj[u], v)
-	b.adj[v] = append(b.adj[v], u)
+	b.pairs = append(b.pairs, int32(u), int32(v))
 }
 
 // SetID overrides the symmetry-breaking identifier of v. IDs must be unique
@@ -51,8 +66,9 @@ func (b *Builder) SetID(v int, id uint64) {
 	b.ids[v] = id
 }
 
-// Build finalizes the graph: deduplicates and sorts adjacency lists and
-// validates IDs. The builder must not be reused afterwards.
+// Build finalizes the graph: counting-sorts the accumulated endpoint pairs
+// into CSR form, deduplicates each adjacency run in place, and validates
+// IDs. The builder must not be reused afterwards.
 func (b *Builder) Build() (*Graph, error) {
 	if b.seal {
 		return nil, fmt.Errorf("graph: builder reused after Build")
@@ -61,34 +77,61 @@ func (b *Builder) Build() (*Graph, error) {
 	if len(b.bad) > 0 {
 		return nil, fmt.Errorf("graph: %d invalid operations, first: %s", len(b.bad), b.bad[0])
 	}
-	g := &Graph{adj: make([][]int, b.n), ids: b.ids}
-	for v := range b.adj {
-		l := b.adj[v]
-		sort.Ints(l)
-		out := l[:0]
-		prev := -1
-		for _, w := range l {
-			if w != prev {
-				out = append(out, w)
-				prev = w
+	n := b.n
+	offsets := make([]int32, n+1)
+	for i := 0; i < len(b.pairs); i += 2 {
+		offsets[b.pairs[i]+1]++
+		offsets[b.pairs[i+1]+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	edges := make([]int32, len(b.pairs))
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i := 0; i < len(b.pairs); i += 2 {
+		u, v := b.pairs[i], b.pairs[i+1]
+		edges[cursor[u]] = v
+		cursor[u]++
+		edges[cursor[v]] = u
+		cursor[v]++
+	}
+	b.pairs = nil
+	// Sort each adjacency run and compact duplicates in place. The write
+	// cursor w never overtakes the read range, so this is safe.
+	var w int32
+	lo := int32(0)
+	for v := 0; v < n; v++ {
+		hi := offsets[v+1]
+		run := edges[lo:hi]
+		slices.Sort(run)
+		start := w
+		prev := int32(-1)
+		for _, x := range run {
+			if x != prev {
+				edges[w] = x
+				w++
+				prev = x
 			}
 		}
-		// Copy into a right-sized slice so the builder's over-allocated
-		// backing arrays can be collected.
-		nl := make([]int, len(out))
-		copy(nl, out)
-		g.adj[v] = nl
-		g.m += len(nl)
+		offsets[v] = start
+		lo = hi
 	}
-	g.m /= 2
-	seen := make(map[uint64]bool, b.n)
-	for v, id := range g.ids {
+	offsets[n] = w
+	if int(w) < cap(edges)/2 {
+		// Heavy duplication: release the slack.
+		edges = append([]int32(nil), edges[:w]...)
+	} else {
+		edges = edges[:w:w]
+	}
+	seen := make(map[uint64]bool, n)
+	for v, id := range b.ids {
 		if seen[id] {
 			return nil, fmt.Errorf("graph: duplicate ID %d (vertex %d)", id, v)
 		}
 		seen[id] = true
 	}
-	return g, nil
+	return fromCSR(offsets, edges, b.ids), nil
 }
 
 // MustBuild is Build for generators whose inputs are validated upfront;
@@ -104,6 +147,7 @@ func (b *Builder) MustBuild() *Graph {
 // FromEdges constructs a graph on n vertices from an edge list.
 func FromEdges(n int, edges []Edge) (*Graph, error) {
 	b := NewBuilder(n)
+	b.Grow(len(edges))
 	for _, e := range edges {
 		b.AddEdge(e.U, e.V)
 	}

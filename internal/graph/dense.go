@@ -175,8 +175,8 @@ func HardWithEasyPatch(m, delta int) (*Graph, *CliquePartition) {
 	for v := 0; v < g.N(); v++ {
 		b.SetID(v, g.ID(v))
 		for _, w := range g.Neighbors(v) {
-			if v < w {
-				b.AddEdge(v, w)
+			if v < int(w) {
+				b.AddEdge(v, int(w))
 			}
 		}
 	}
@@ -284,8 +284,8 @@ func RemoveEdges(g *Graph, del []Edge) *Graph {
 	for v := 0; v < g.N(); v++ {
 		b.SetID(v, g.ID(v))
 		for _, w := range g.Neighbors(v) {
-			if v < w && !drop[Edge{U: v, V: w}] {
-				b.AddEdge(v, w)
+			if v < int(w) && !drop[Edge{U: v, V: int(w)}] {
+				b.AddEdge(v, int(w))
 			}
 		}
 	}

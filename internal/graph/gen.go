@@ -257,8 +257,8 @@ func PermuteIDs(g *Graph, rng *rand.Rand) *Graph {
 	for v := 0; v < g.N(); v++ {
 		b.SetID(v, uint64(perm[v]))
 		for _, w := range g.Neighbors(v) {
-			if v < w {
-				b.AddEdge(v, w)
+			if v < int(w) {
+				b.AddEdge(v, int(w))
 			}
 		}
 	}

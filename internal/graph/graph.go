@@ -7,6 +7,15 @@
 // carries a unique identifier (ID) used by the distributed algorithms for
 // symmetry breaking; by default ID(v) == v, but tests may permute IDs to
 // ensure no algorithm silently depends on index order.
+//
+// # Storage layout
+//
+// Adjacency is stored in compressed sparse row (CSR) form: a single flat
+// edge array shared by all vertices plus an offsets array, so the whole
+// structure is two allocations regardless of n, Neighbors is a constant-time
+// subslice, and a scan over a neighborhood is a linear walk over contiguous
+// memory. Vertex indices inside the edge array are int32 (graphs are capped
+// at 2^31-1 vertices), halving the cache footprint of the hot loops.
 package graph
 
 import (
@@ -14,30 +23,70 @@ import (
 	"sort"
 )
 
-// Graph is an immutable undirected simple graph with sorted adjacency lists.
-// Build one with a Builder or a generator; after construction it must not be
-// mutated. All query methods are safe for concurrent use.
+// MaxN is the largest supported vertex count (vertex indices are stored as
+// int32 in the CSR edge array).
+const MaxN = 1<<31 - 1
+
+// Graph is an immutable undirected simple graph with sorted adjacency lists
+// in CSR layout. Build one with a Builder or a generator; after construction
+// it must not be mutated. All query methods are safe for concurrent use.
 type Graph struct {
-	adj [][]int
-	ids []uint64
-	m   int
+	// offsets has N()+1 entries; the neighbors of v occupy
+	// edges[offsets[v]:offsets[v+1]], sorted ascending.
+	offsets []int32
+	edges   []int32
+	ids     []uint64
+	maxDeg  int
+}
+
+// fromCSR adopts the given CSR arrays (ownership transfers to the graph).
+// offsets must have len(ids)+1 monotone entries and edges must hold sorted,
+// deduplicated, symmetric adjacency; constructors in this package guarantee
+// that, and Validate can re-check it.
+func fromCSR(offsets, edges []int32, ids []uint64) *Graph {
+	g := &Graph{offsets: offsets, edges: edges, ids: ids}
+	for v := 0; v+1 < len(offsets); v++ {
+		if d := int(offsets[v+1] - offsets[v]); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	return g
 }
 
 // N returns the number of vertices.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return len(g.ids) }
 
 // M returns the number of edges.
-func (g *Graph) M() int { return g.m }
+func (g *Graph) M() int { return len(g.edges) / 2 }
 
 // Degree returns the degree of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
-// Neighbors returns the sorted neighbor list of v. The returned slice is
-// owned by the graph and must not be modified.
-func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+// Neighbors returns the sorted neighbor list of v as a subslice of the
+// graph's flat CSR edge array. The returned slice is owned by the graph and
+// must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.edges[g.offsets[v]:g.offsets[v+1]:g.offsets[v+1]]
+}
 
 // ID returns the unique identifier of v used for symmetry breaking.
 func (g *Graph) ID(v int) uint64 { return g.ids[v] }
+
+// searchInt32 returns the first index of x in the sorted slice a, or the
+// insertion point if absent (sort.SearchInts over int32 without the
+// interface indirection).
+func searchInt32(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
 
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
@@ -45,34 +94,27 @@ func (g *Graph) HasEdge(u, v int) bool {
 		return false
 	}
 	// Search the shorter list.
-	a := g.adj[u]
-	if len(g.adj[v]) < len(a) {
-		a, v = g.adj[v], u
+	a, x := g.Neighbors(u), v
+	if g.Degree(v) < len(a) {
+		a, x = g.Neighbors(v), u
 	}
-	i := sort.SearchInts(a, v)
-	return i < len(a) && a[i] == v
+	i := searchInt32(a, int32(x))
+	return i < len(a) && a[i] == int32(x)
 }
 
-// MaxDegree returns the maximum degree Δ of the graph (0 for the empty graph).
-func (g *Graph) MaxDegree() int {
-	d := 0
-	for v := range g.adj {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
-		}
-	}
-	return d
-}
+// MaxDegree returns the maximum degree Δ of the graph (0 for the empty
+// graph). It is precomputed at construction time.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // MinDegree returns the minimum degree of the graph (0 for the empty graph).
 func (g *Graph) MinDegree() int {
-	if len(g.adj) == 0 {
+	if g.N() == 0 {
 		return 0
 	}
-	d := len(g.adj[0])
-	for v := range g.adj {
-		if len(g.adj[v]) < d {
-			d = len(g.adj[v])
+	d := g.Degree(0)
+	for v := 1; v < g.N(); v++ {
+		if dv := g.Degree(v); dv < d {
+			d = dv
 		}
 	}
 	return d
@@ -85,11 +127,11 @@ type Edge struct {
 
 // Edges returns all edges with U < V, sorted lexicographically.
 func (g *Graph) Edges() []Edge {
-	es := make([]Edge, 0, g.m)
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
-			if u < v {
-				es = append(es, Edge{U: u, V: v})
+	es := make([]Edge, 0, g.M())
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int32(u) < v {
+				es = append(es, Edge{U: u, V: int(v)})
 			}
 		}
 	}
@@ -98,7 +140,7 @@ func (g *Graph) Edges() []Edge {
 
 // CommonNeighbors returns the number of common neighbors of u and v.
 func (g *Graph) CommonNeighbors(u, v int) int {
-	a, b := g.adj[u], g.adj[v]
+	a, b := g.Neighbors(u), g.Neighbors(v)
 	n, i, j := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -139,11 +181,11 @@ func (g *Graph) NeighborsWithin(v, r int) []int {
 	for d := 0; d < r; d++ {
 		var next []int
 		for _, u := range frontier {
-			for _, w := range g.adj[u] {
-				if !seen[w] {
-					seen[w] = true
-					next = append(next, w)
-					out = append(out, w)
+			for _, w := range g.Neighbors(u) {
+				if !seen[int(w)] {
+					seen[int(w)] = true
+					next = append(next, int(w))
+					out = append(out, int(w))
 				}
 			}
 		}
@@ -167,13 +209,13 @@ func (g *Graph) Dist(u, v int) int {
 	for d := 1; len(frontier) > 0; d++ {
 		var next []int
 		for _, x := range frontier {
-			for _, w := range g.adj[x] {
-				if w == v {
+			for _, w := range g.Neighbors(x) {
+				if int(w) == v {
 					return d
 				}
 				if !seen[w] {
 					seen[w] = true
-					next = append(next, w)
+					next = append(next, int(w))
 				}
 			}
 		}
@@ -194,10 +236,10 @@ func (g *Graph) ConnectedComponents() [][]int {
 		comp := []int{s}
 		seen[s] = true
 		for q := 0; q < len(comp); q++ {
-			for _, w := range g.adj[comp[q]] {
+			for _, w := range g.Neighbors(comp[q]) {
 				if !seen[w] {
 					seen[w] = true
-					comp = append(comp, w)
+					comp = append(comp, int(w))
 				}
 			}
 		}
@@ -207,10 +249,16 @@ func (g *Graph) ConnectedComponents() [][]int {
 	return comps
 }
 
-// Validate checks internal consistency (sorted adjacency, symmetry, no
-// self-loops, unique IDs). Generators call it in tests; it is not on any
-// hot path.
+// Validate checks internal consistency (CSR shape, sorted adjacency,
+// symmetry, no self-loops, unique IDs). Generators call it in tests; it is
+// not on any hot path.
 func (g *Graph) Validate() error {
+	if len(g.offsets) != g.N()+1 {
+		return fmt.Errorf("graph: %d offsets for %d vertices", len(g.offsets), g.N())
+	}
+	if g.offsets[0] != 0 || int(g.offsets[g.N()]) != len(g.edges) {
+		return fmt.Errorf("graph: offsets do not span the edge array")
+	}
 	idSeen := make(map[uint64]int, g.N())
 	for v, id := range g.ids {
 		if w, dup := idSeen[id]; dup {
@@ -218,28 +266,36 @@ func (g *Graph) Validate() error {
 		}
 		idSeen[id] = v
 	}
-	edges := 0
-	for v := range g.adj {
-		prev := -1
-		for _, w := range g.adj[v] {
-			if w == v {
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+		prev := int32(-1)
+		for _, w := range g.Neighbors(v) {
+			if int(w) == v {
 				return fmt.Errorf("graph: self-loop at %d", v)
 			}
 			if w <= prev {
 				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
 			}
-			if w < 0 || w >= g.N() {
+			if w < 0 || int(w) >= g.N() {
 				return fmt.Errorf("graph: neighbor %d of %d out of range", w, v)
 			}
-			if !g.HasEdge(w, v) {
+			if !g.HasEdge(int(w), v) {
 				return fmt.Errorf("graph: edge {%d,%d} not symmetric", v, w)
 			}
 			prev = w
 		}
-		edges += len(g.adj[v])
 	}
-	if edges != 2*g.m {
-		return fmt.Errorf("graph: edge count mismatch: %d half-edges, m=%d", edges, g.m)
+	if maxDeg != g.maxDeg {
+		return fmt.Errorf("graph: cached Δ=%d, actual %d", g.maxDeg, maxDeg)
+	}
+	if len(g.edges)%2 != 0 {
+		return fmt.Errorf("graph: odd half-edge count %d", len(g.edges))
 	}
 	return nil
 }

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Sub is an induced subgraph together with the vertex mapping back to the
 // parent graph.
@@ -13,35 +16,77 @@ type Sub struct {
 	FromParent []int
 }
 
+// inducerScratch is the reusable relabel array behind Induced. Between uses
+// every entry is -1; Induced marks only the member vertices and sparsely
+// resets them afterwards, so a pooled scratch costs O(len(vs)) per call
+// instead of O(parent n) once it has grown to the parent size.
+type inducerScratch struct {
+	relabel []int32
+}
+
+var inducerPool = sync.Pool{New: func() any { return new(inducerScratch) }}
+
+func (sc *inducerScratch) grow(n int) {
+	if len(sc.relabel) >= n {
+		return
+	}
+	old := len(sc.relabel)
+	sc.relabel = append(sc.relabel, make([]int32, n-old)...)
+	for i := old; i < n; i++ {
+		sc.relabel[i] = -1
+	}
+}
+
 // Induced returns the subgraph of g induced by vs (duplicates are ignored).
 // IDs are inherited from the parent so symmetry breaking stays consistent.
+//
+// The subgraph is assembled in CSR form in a single pass over the members'
+// adjacency: because members are processed in ascending order and the
+// relabeling is monotone, the emitted neighbor runs are already sorted and
+// deduplicated, so no post-processing pass is needed.
 func Induced(g *Graph, vs []int) *Sub {
+	sc := inducerPool.Get().(*inducerScratch)
+	sc.grow(g.N())
+	relabel := sc.relabel
+
 	uniq := make([]int, 0, len(vs))
-	in := make([]bool, g.N())
 	for _, v := range vs {
-		if !in[v] {
-			in[v] = true
+		if relabel[v] < 0 {
+			relabel[v] = 0 // membership mark; real labels assigned below
 			uniq = append(uniq, v)
 		}
 	}
 	sort.Ints(uniq)
+	for i, v := range uniq {
+		relabel[v] = int32(i)
+	}
+
+	k := len(uniq)
+	offsets := make([]int32, k+1)
+	ids := make([]uint64, k)
+	edges := make([]int32, 0, 16)
+	for i, v := range uniq {
+		ids[i] = g.ID(v)
+		for _, w := range g.Neighbors(v) {
+			if j := relabel[w]; j >= 0 {
+				edges = append(edges, j)
+			}
+		}
+		offsets[i+1] = int32(len(edges))
+	}
+	edges = edges[:len(edges):len(edges)]
+
 	from := make([]int, g.N())
 	for i := range from {
 		from[i] = -1
 	}
 	for i, v := range uniq {
 		from[v] = i
+		relabel[v] = -1 // sparse reset for the next pooled use
 	}
-	b := NewBuilder(len(uniq))
-	for i, v := range uniq {
-		b.SetID(i, g.ID(v))
-		for _, w := range g.Neighbors(v) {
-			if in[w] && v < w {
-				b.AddEdge(i, from[w])
-			}
-		}
-	}
-	return &Sub{G: b.MustBuild(), ToParent: uniq, FromParent: from}
+	inducerPool.Put(sc)
+
+	return &Sub{G: fromCSR(offsets, edges, ids), ToParent: uniq, FromParent: from}
 }
 
 // Power returns the r-th power graph of g: vertices are the same and u~v iff
@@ -79,10 +124,10 @@ func LineGraph(g *Graph) (*Graph, []Edge) {
 		for _, ends := range [2]int{e.U, e.V} {
 			for _, w := range g.Neighbors(ends) {
 				var f Edge
-				if ends < w {
-					f = Edge{U: ends, V: w}
+				if ends < int(w) {
+					f = Edge{U: ends, V: int(w)}
 				} else {
-					f = Edge{U: w, V: ends}
+					f = Edge{U: int(w), V: ends}
 				}
 				if f == e {
 					continue
@@ -116,8 +161,8 @@ func Union(gs ...*Graph) *Graph {
 			}
 			b.SetID(off+v, idOff+g.ID(v))
 			for _, w := range g.Neighbors(v) {
-				if v < w {
-					b.AddEdge(off+v, off+w)
+				if v < int(w) {
+					b.AddEdge(off+v, off+int(w))
 				}
 			}
 		}

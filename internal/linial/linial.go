@@ -136,8 +136,9 @@ func Color(net *local.Network, target int) ([]int, error) {
 
 	// Phase 1: Linial reduction rounds (the schedule is globally known).
 	m := maxID + 1
+	run := local.NewRunner(net, cur)
 	for _, s := range planSteps(mBits, delta) {
-		cur = linialRound(net, cur, s)
+		cur = linialRound(run, s)
 		m = s.q * s.q
 	}
 
@@ -158,8 +159,8 @@ func toInts(cur []uint64) []int {
 }
 
 // linialRound performs one algebraic reduction round on the state engine.
-func linialRound(net *local.Network, cur []uint64, s step) []uint64 {
-	return local.Exchange(net, cur, func(v int, self uint64, nbrs local.Nbrs[uint64]) uint64 {
+func linialRound(run *local.Runner[uint64], s step) []uint64 {
+	return run.Step(func(v int, self uint64, nbrs local.Nbrs[uint64]) uint64 {
 		mine := digitsBaseQ(self, s.q, s.d)
 		// Find x in F_q where our polynomial differs from every neighbor's.
 		for x := uint64(0); x < s.q; x++ {
@@ -207,6 +208,7 @@ func Reduce(net *local.Network, cur []int, m, target int) ([]int, error) {
 	}
 	out := make([]int, len(cur))
 	copy(out, cur)
+	run := local.NewRunner(net, out)
 	for m > target {
 		blockSize := 2 * target
 		// Colors >= m exist nowhere; since m is global knowledge the
@@ -216,7 +218,7 @@ func Reduce(net *local.Network, cur []int, m, target int) ([]int, error) {
 			firstTop = m - 1
 		}
 		for top := firstTop; top >= target; top-- {
-			out = local.Exchange(net, out, func(v int, self int, nbrs local.Nbrs[int]) int {
+			out = run.Step(func(v int, self int, nbrs local.Nbrs[int]) int {
 				if self%blockSize != top {
 					return self
 				}

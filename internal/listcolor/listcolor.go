@@ -73,8 +73,9 @@ func Solve(net *local.Network, inst Instance, out *coloring.Partial) error {
 	for i := range st {
 		st[i] = state{slot: slots[i], color: coloring.None}
 	}
+	run := local.NewRunner(snet, st)
 	for c := 0; c < k; c++ {
-		st = local.Exchange(snet, st, func(i int, self state, nbrs local.Nbrs[state]) state {
+		st = run.Step(func(i int, self state, nbrs local.Nbrs[state]) state {
 			if self.color != coloring.None || self.slot != c {
 				return self
 			}

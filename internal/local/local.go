@@ -11,6 +11,16 @@
 // current states of its neighbors (legitimate in LOCAL because message size
 // is unbounded). Rounds are counted automatically.
 //
+// Multi-round algorithms should hold a Runner, which owns a pair of state
+// buffers and flips them each Step: a whole run then costs one buffer
+// allocation regardless of round count. The state function must be pure —
+// it may read any neighbor state of the current round but must not mutate
+// shared structures — which is what makes the result independent of the
+// worker count. SetWorkers enables parallel rounds executed on a persistent
+// per-network worker pool (started once, reused by every subsequent round);
+// Close releases the pool early, and a finalizer covers networks that are
+// simply dropped.
+//
 // Constant-radius steps that are awkward to phrase as repeated Exchange
 // calls (collecting a radius-r ball and brute-forcing over it, as the paper
 // does for loopholes and ruling sets) instead call Charge(r) and then read
@@ -32,6 +42,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"deltacoloring/internal/graph"
 )
@@ -52,6 +63,97 @@ type counter struct {
 	open      []int // indices into spans of currently open phases
 	interrupt func() error
 	spanHook  func(Span)
+	pool      *workerPool
+}
+
+// workerPool is a persistent chunked executor shared by a network and all
+// its Virtual children: a fixed set of goroutines parked on a job channel,
+// started once and reused by every subsequent Exchange/Iterate/RunProcs
+// round instead of spawning fresh goroutines per round.
+type workerPool struct {
+	jobs chan poolJob
+	stop sync.Once
+}
+
+type poolJob struct {
+	lo, hi int
+	run    func(lo, hi int)
+	wg     *sync.WaitGroup
+}
+
+func newWorkerPool(size int) *workerPool {
+	p := &workerPool{jobs: make(chan poolJob, 2*size)}
+	for i := 0; i < size; i++ {
+		// Workers capture only the channel, never p, so the finalizer below
+		// can fire once all networks sharing the pool become unreachable.
+		go func(jobs <-chan poolJob) {
+			for j := range jobs {
+				j.run(j.lo, j.hi)
+				j.wg.Done()
+			}
+		}(p.jobs)
+	}
+	// Backstop for callers that never Close: release the parked goroutines
+	// when the owning network tree is garbage collected.
+	runtime.SetFinalizer(p, func(p *workerPool) { p.close() })
+	return p
+}
+
+func (p *workerPool) close() {
+	p.stop.Do(func() { close(p.jobs) })
+}
+
+// getPool returns the shared pool, starting it on first use.
+func (c *counter) getPool() *workerPool {
+	c.mu.Lock()
+	if c.pool == nil {
+		c.pool = newWorkerPool(runtime.NumCPU())
+	}
+	p := c.pool
+	c.mu.Unlock()
+	return p
+}
+
+// parallelThreshold is the vertex count below which chunked execution is not
+// worth the synchronization overhead and rounds run sequentially.
+const parallelThreshold = 256
+
+// run executes fn over [0, total) — sequentially when parallelism is off or
+// the graph is small, otherwise as one chunk per configured worker on the
+// persistent pool. fn must only write to disjoint per-index data, which is
+// what makes results independent of the worker count.
+func (n *Network) run(total int, fn func(lo, hi int)) {
+	w := n.workers
+	if w <= 1 || total < parallelThreshold {
+		fn(0, total)
+		return
+	}
+	pool := n.counter.getPool()
+	chunk := (total + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < total; lo += chunk {
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		pool.jobs <- poolJob{lo: lo, hi: hi, run: fn, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// Close releases the persistent worker pool, if one was started. The network
+// stays usable — the next parallel round simply starts a fresh pool — so it
+// is safe (and recommended) to defer Close right after New when running with
+// SetWorkers > 1. Networks that never enable parallelism hold no resources.
+func (n *Network) Close() {
+	n.counter.mu.Lock()
+	p := n.counter.pool
+	n.counter.pool = nil
+	n.counter.mu.Unlock()
+	if p != nil {
+		p.close()
+	}
 }
 
 // Span records the rounds consumed by one named phase, for reporting.
@@ -200,80 +302,136 @@ func (n *Network) Spans() []Span {
 }
 
 // Nbrs exposes the neighbor states of one vertex during an Exchange round.
+// The neighbor list is captured once per vertex per round, so every access
+// is a single index into the graph's flat CSR edge array.
 type Nbrs[S any] struct {
-	g  *graph.Graph
-	v  int
-	st []S
+	list []int32
+	st   []S
 }
 
 // Len returns the degree of the vertex.
-func (nb Nbrs[S]) Len() int { return len(nb.g.Neighbors(nb.v)) }
+func (nb Nbrs[S]) Len() int { return len(nb.list) }
 
 // At returns the vertex index of the i-th neighbor.
-func (nb Nbrs[S]) At(i int) int { return nb.g.Neighbors(nb.v)[i] }
+func (nb Nbrs[S]) At(i int) int { return int(nb.list[i]) }
 
 // State returns the (previous-round) state of the i-th neighbor.
-func (nb Nbrs[S]) State(i int) S { return nb.st[nb.g.Neighbors(nb.v)[i]] }
+func (nb Nbrs[S]) State(i int) S { return nb.st[nb.list[i]] }
+
+// exchangeInto runs one synchronous round from cur into next (which must be
+// distinct slices of equal length). When done is non-nil it is evaluated on
+// each next state as it is produced, and the number of not-yet-done vertices
+// is returned — fused into the same pass so Iterate needs no O(n) rescan.
+func exchangeInto[S any](n *Network, cur, next []S,
+	f func(v int, self S, nbrs Nbrs[S]) S, done func(v int, s S) bool) int {
+	if len(cur) != n.g.N() {
+		panic(fmt.Sprintf("local: state slice has %d entries, graph has %d vertices", len(cur), n.g.N()))
+	}
+	n.Charge(1)
+	g := n.g
+	var notDone atomic.Int64
+	n.run(len(cur), func(lo, hi int) {
+		pending := 0
+		for v := lo; v < hi; v++ {
+			s := f(v, cur[v], Nbrs[S]{list: g.Neighbors(v), st: cur})
+			next[v] = s
+			if done != nil && !done(v, s) {
+				pending++
+			}
+		}
+		if pending != 0 {
+			notDone.Add(int64(pending))
+		}
+	})
+	return int(notDone.Load())
+}
 
 // Exchange runs one synchronous round: every vertex v computes
 // f(v, cur[v], neighbors' cur states) into a fresh state slice. One call
 // charges exactly one round. f must be pure (no shared mutation), which
 // also makes parallel execution deterministic.
+//
+// Exchange allocates a new state slice per round; loops that run many
+// rounds should use a Runner, which double-buffers two slices for the whole
+// run.
 func Exchange[S any](n *Network, cur []S, f func(v int, self S, nbrs Nbrs[S]) S) []S {
-	if len(cur) != n.g.N() {
-		panic(fmt.Sprintf("local: state slice has %d entries, graph has %d vertices", len(cur), n.g.N()))
-	}
-	n.Charge(1)
 	next := make([]S, len(cur))
-	apply := func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			next[v] = f(v, cur[v], Nbrs[S]{g: n.g, v: v, st: cur})
-		}
-	}
-	if n.workers <= 1 || len(cur) < 256 {
-		apply(0, len(cur))
-		return next
-	}
-	var wg sync.WaitGroup
-	chunk := (len(cur) + n.workers - 1) / n.workers
-	for lo := 0; lo < len(cur); lo += chunk {
-		hi := lo + chunk
-		if hi > len(cur) {
-			hi = len(cur)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			apply(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	exchangeInto(n, cur, next, f, nil)
 	return next
+}
+
+// Runner owns the double-buffered state of one simulation run: a current
+// and a next slice that flip after every round, so an entire multi-round
+// algorithm performs exactly one state-slice allocation. The state function
+// must be pure — it may read any cur state but write nothing shared — which
+// is also what makes results bit-identical for any worker count.
+//
+// The Runner takes ownership of the initial slice passed to NewRunner; the
+// caller must not retain it. States returns the live buffer after any
+// number of Step/Run calls.
+type Runner[S any] struct {
+	net  *Network
+	cur  []S
+	next []S
+}
+
+// NewRunner creates a runner over init (one entry per vertex of n's graph).
+func NewRunner[S any](n *Network, init []S) *Runner[S] {
+	if len(init) != n.g.N() {
+		panic(fmt.Sprintf("local: state slice has %d entries, graph has %d vertices", len(init), n.g.N()))
+	}
+	return &Runner[S]{net: n, cur: init, next: make([]S, len(init))}
+}
+
+// States returns the current state slice (owned by the runner; valid until
+// the next Step or Run call).
+func (r *Runner[S]) States() []S { return r.cur }
+
+// Step runs one synchronous round and flips the buffers, returning the new
+// current states. One call charges exactly one round.
+func (r *Runner[S]) Step(f func(v int, self S, nbrs Nbrs[S]) S) []S {
+	exchangeInto(r.net, r.cur, r.next, f, nil)
+	r.cur, r.next = r.next, r.cur
+	return r.cur
+}
+
+// Run steps until done reports true for every vertex or maxRounds is
+// exhausted, returning the final states and the number of rounds executed.
+// done must be pure, like f; it is evaluated inside the exchange pass so a
+// round costs no separate all-vertices scan. A remaining not-done count is
+// carried across rounds, so quiescence detection is O(1) per round.
+func (r *Runner[S]) Run(maxRounds int,
+	f func(v int, self S, nbrs Nbrs[S]) S, done func(v int, s S) bool) ([]S, int, error) {
+	notDone := 0
+	for v, s := range r.cur {
+		if !done(v, s) {
+			notDone++
+		}
+	}
+	for round := 0; round < maxRounds; round++ {
+		if notDone == 0 {
+			return r.cur, round, nil
+		}
+		notDone = exchangeInto(r.net, r.cur, r.next, f, done)
+		r.cur, r.next = r.next, r.cur
+	}
+	if notDone == 0 {
+		return r.cur, maxRounds, nil
+	}
+	for v, s := range r.cur {
+		if !done(v, s) {
+			return r.cur, maxRounds, fmt.Errorf("local: vertex %d not done after %d rounds", v, maxRounds)
+		}
+	}
+	return r.cur, maxRounds, nil
 }
 
 // Iterate runs Exchange until done reports true for every vertex or
 // maxRounds is exhausted, returning the final states and the number of
 // rounds executed. It returns an error if the round budget runs out, which
-// algorithm packages treat as a logic bug.
+// algorithm packages treat as a logic bug. Iterate double-buffers through a
+// Runner, so it owns cur from the call on; the caller must not retain it.
 func Iterate[S any](n *Network, cur []S, maxRounds int,
 	f func(v int, self S, nbrs Nbrs[S]) S, done func(v int, s S) bool) ([]S, int, error) {
-	for r := 0; r < maxRounds; r++ {
-		allDone := true
-		for v, s := range cur {
-			if !done(v, s) {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
-			return cur, r, nil
-		}
-		cur = Exchange(n, cur, f)
-	}
-	for v, s := range cur {
-		if !done(v, s) {
-			return cur, maxRounds, fmt.Errorf("local: vertex %d not done after %d rounds", v, maxRounds)
-		}
-	}
-	return cur, maxRounds, nil
+	return NewRunner(n, cur).Run(maxRounds, f, done)
 }

@@ -181,7 +181,7 @@ func (f *flood) Init(v int, net *Network) []Outgoing {
 func (f *flood) broadcast(d int) []Outgoing {
 	outs := make([]Outgoing, 0, f.g.Degree(f.v))
 	for _, w := range f.g.Neighbors(f.v) {
-		outs = append(outs, Outgoing{To: w, Payload: d + 1})
+		outs = append(outs, Outgoing{To: int(w), Payload: d + 1})
 	}
 	return outs
 }

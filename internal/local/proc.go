@@ -3,7 +3,7 @@ package local
 import (
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 )
 
 // This file contains the explicit message-passing engine: per-node state
@@ -78,48 +78,29 @@ func RunProcs(net *Network, procs []Proc, maxRounds int) error {
 		}
 		net.Charge(1)
 
-		// Step all live nodes (parallel when configured).
-		var mu sync.Mutex
-		step := func(lo, hi int) {
+		// Step all live nodes on the persistent worker pool when configured;
+		// each vertex writes only its own pending/done slots, so no lock is
+		// needed and results are worker-count independent.
+		var running atomic.Int64
+		net.run(g.N(), func(lo, hi int) {
+			live := 0
 			for v := lo; v < hi; v++ {
 				if done[v] {
 					continue
 				}
 				out, fin := procs[v].Step(round, inboxes[v])
-				mu.Lock()
 				pending[v] = out
 				if fin {
 					done[v] = true
+				} else {
+					live++
 				}
-				mu.Unlock()
 			}
-		}
-		if net.workers <= 1 || g.N() < 256 {
-			step(0, g.N())
-		} else {
-			var wg sync.WaitGroup
-			chunk := (g.N() + net.workers - 1) / net.workers
-			for lo := 0; lo < g.N(); lo += chunk {
-				hi := lo + chunk
-				if hi > g.N() {
-					hi = g.N()
-				}
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					step(lo, hi)
-				}(lo, hi)
+			if live != 0 {
+				running.Add(int64(live))
 			}
-			wg.Wait()
-		}
-		allDone := true
-		for _, d := range done {
-			if !d {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
+		})
+		if running.Load() == 0 {
 			return nil
 		}
 	}

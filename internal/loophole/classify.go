@@ -40,13 +40,13 @@ type Classification struct {
 // (cases (iv-a)/(iv-a3), using that members are adjacent once (ii) fails),
 // or exactly 1 member (cases (iv-b)/(iv-b4)).
 func Classify(g *graph.Graph, a *acd.ACD) *Classification {
-	delta := g.MaxDegree()
 	cl := &Classification{
 		Easy:    make([]bool, len(a.Cliques)),
 		Witness: make([]*Loophole, len(a.Cliques)),
 	}
+	k := newClassifier(cl, g, a)
 	for ci := range a.Cliques {
-		cl.classifyClique(g, a, delta, ci)
+		k.classifyClique(ci)
 	}
 	return cl
 }
@@ -58,9 +58,64 @@ func (cl *Classification) mark(ci int, l *Loophole) {
 	}
 }
 
-func (cl *Classification) classifyClique(g *graph.Graph, a *acd.ACD, delta, ci int) {
+// ext records one clique-member/outside-neighbor incidence. The collection
+// loop walks members in order, so partners of the same owner are contiguous.
+type ext struct{ owner, partner int }
+
+// classifier carries parent-graph-sized scratch across the per-clique case
+// analysis so classifying a clique allocates nothing beyond the witness it
+// returns. Arrays are reset sparsely via the touched/reached lists; between
+// cliques own1/own2/partnerOwner are all -1 and reachCnt is all 0
+// (reachPart/reachOwn need no reset: entries are dead above reachCnt).
+type classifier struct {
+	cl    *Classification
+	g     *graph.Graph
+	a     *acd.ACD
+	delta int
+
+	own1, own2   []int32 // first two members adjacent to an outsider, or -1
+	partnerOwner []int32 // last member owning this partner vertex, or -1
+	reachCnt     []int32 // number of (partner, owner) tags, capped at 3
+	reachPart    []int32 // 3 tag slots per vertex
+	reachOwn     []int32
+	touched      []int32 // outsiders with own1/own2/partnerOwner set
+	reached      []int32 // outsiders with reachCnt > 0
+	partners     []ext
+}
+
+func newClassifier(cl *Classification, g *graph.Graph, a *acd.ACD) *classifier {
+	n := g.N()
+	k := &classifier{
+		cl: cl, g: g, a: a, delta: g.MaxDegree(),
+		own1:         make([]int32, n),
+		own2:         make([]int32, n),
+		partnerOwner: make([]int32, n),
+		reachCnt:     make([]int32, n),
+		reachPart:    make([]int32, 3*n),
+		reachOwn:     make([]int32, 3*n),
+	}
+	for i := 0; i < n; i++ {
+		k.own1[i], k.own2[i], k.partnerOwner[i] = -1, -1, -1
+	}
+	return k
+}
+
+func (k *classifier) reset() {
+	for _, v := range k.touched {
+		k.own1[v], k.own2[v], k.partnerOwner[v] = -1, -1, -1
+	}
+	k.touched = k.touched[:0]
+	for _, v := range k.reached {
+		k.reachCnt[v] = 0
+	}
+	k.reached = k.reached[:0]
+}
+
+func (k *classifier) classifyClique(ci int) {
+	g, a, delta, cl := k.g, k.a, k.delta, k.cl
 	members := a.Cliques[ci]
 	inC := func(v int) bool { return a.CliqueOf[v] == ci }
+	defer k.reset()
 
 	// (i) degree deficiency.
 	for _, v := range members {
@@ -88,24 +143,34 @@ func (cl *Classification) classifyClique(g *graph.Graph, a *acd.ACD, delta, ci i
 			}
 		}
 	}
-	// (iii) outsider with two neighbors in C: witness u-w-v-c1 with c1 in C
-	// not adjacent to w (Lemma 9, property 3).
-	type ext struct{ owner, partner int }
-	var partners []ext
-	nbrsInC := map[int][]int{} // outsider -> members adjacent to it
+	// Collect the member/outsider incidences once; own1/own2 record the
+	// first two members adjacent to each outsider and partnerOwner the last
+	// (matching the overwrite semantics of the map-based version).
+	k.partners = k.partners[:0]
 	for _, v := range members {
-		for _, w := range g.Neighbors(v) {
-			if !inC(w) {
-				nbrsInC[w] = append(nbrsInC[w], v)
-				partners = append(partners, ext{owner: v, partner: w})
+		for _, nw := range g.Neighbors(v) {
+			w := int(nw)
+			if inC(w) {
+				continue
 			}
+			if k.own1[w] < 0 {
+				k.own1[w] = int32(v)
+				k.touched = append(k.touched, nw)
+			} else if k.own2[w] < 0 {
+				k.own2[w] = int32(v)
+			}
+			k.partnerOwner[w] = int32(v)
+			k.partners = append(k.partners, ext{owner: v, partner: w})
 		}
 	}
-	for w, owners := range nbrsInC {
-		if len(owners) < 2 {
+	// (iii) outsider with two neighbors in C: witness u-w-v-c1 with c1 in C
+	// not adjacent to w (Lemma 9, property 3).
+	for _, wq := range k.touched {
+		w := int(wq)
+		if k.own2[w] < 0 {
 			continue
 		}
-		u, v := owners[0], owners[1]
+		u, v := int(k.own1[w]), int(k.own2[w])
 		for _, c1 := range members {
 			if c1 != u && c1 != v && !g.HasEdge(c1, w) {
 				cl.mark(ci, newCycle([]int{u, w, v, c1}))
@@ -114,20 +179,17 @@ func (cl *Classification) classifyClique(g *graph.Graph, a *acd.ACD, delta, ci i
 		}
 	}
 	// (iv-a) adjacent partners of distinct members: 4-cycle u1-a-b-u2.
-	partnerOwners := map[int]int{} // partner vertex -> one owner
-	for _, p := range partners {
-		partnerOwners[p.partner] = p.owner
-	}
-	for _, p := range partners {
-		for _, b := range g.Neighbors(p.partner) {
+	for _, p := range k.partners {
+		for _, nb := range g.Neighbors(p.partner) {
+			b := int(nb)
 			if inC(b) || b == p.partner {
 				continue
 			}
-			owner2, ok := partnerOwners[b]
-			if !ok || owner2 == p.owner {
+			owner2 := k.partnerOwner[b]
+			if owner2 < 0 || int(owner2) == p.owner {
 				continue
 			}
-			cl.mark(ci, newCycle([]int{p.owner, p.partner, b, owner2}))
+			cl.mark(ci, newCycle([]int{p.owner, p.partner, b, int(owner2)}))
 			return
 		}
 	}
@@ -135,33 +197,41 @@ func (cl *Classification) classifyClique(g *graph.Graph, a *acd.ACD, delta, ci i
 	// path: 6-cycle u1-a-x-y-b-u2. Tag every outside vertex adjacent to a
 	// partner with up to three (partner, owner) sources, then scan outside
 	// edges between tagged vertices.
-	type src struct{ partner, owner int }
-	reach := map[int][]src{}
-	for _, p := range partners {
-		for _, x := range g.Neighbors(p.partner) {
+	for _, p := range k.partners {
+		for _, nx := range g.Neighbors(p.partner) {
+			x := int(nx)
 			if inC(x) {
 				continue
 			}
-			if len(reach[x]) < 3 {
-				reach[x] = append(reach[x], src{partner: p.partner, owner: p.owner})
+			cnt := k.reachCnt[x]
+			if cnt >= 3 {
+				continue
 			}
+			if cnt == 0 {
+				k.reached = append(k.reached, nx)
+			}
+			k.reachPart[3*x+int(cnt)] = int32(p.partner)
+			k.reachOwn[3*x+int(cnt)] = int32(p.owner)
+			k.reachCnt[x] = cnt + 1
 		}
 	}
-	for x, sx := range reach {
-		for _, y := range g.Neighbors(x) {
+	for _, xq := range k.reached {
+		x := int(xq)
+		nx := int(k.reachCnt[x])
+		for _, nyq := range g.Neighbors(x) {
+			y := int(nyq)
 			if inC(y) || y == x {
 				continue
 			}
-			sy, ok := reach[y]
-			if !ok {
-				continue
-			}
-			for _, s1 := range sx {
-				for _, s2 := range sy {
-					if s1.owner == s2.owner {
+			ny := int(k.reachCnt[y])
+			for i := 0; i < nx; i++ {
+				for j := 0; j < ny; j++ {
+					o1, p1 := k.reachOwn[3*x+i], k.reachPart[3*x+i]
+					o2, p2 := k.reachOwn[3*y+j], k.reachPart[3*y+j]
+					if o1 == o2 {
 						continue
 					}
-					verts := []int{s1.owner, s1.partner, x, y, s2.partner, s2.owner}
+					verts := []int{int(o1), int(p1), x, y, int(p2), int(o2)}
 					if distinct(verts) {
 						cl.mark(ci, newCycle(verts))
 						return
@@ -171,16 +241,21 @@ func (cl *Classification) classifyClique(g *graph.Graph, a *acd.ACD, delta, ci i
 		}
 	}
 	// (iv-b) two partners of one member with a common outside neighbor:
-	// 4-cycle v-a-x-b (explicit non-clique check; K4s are skipped).
-	byOwner := map[int][]int{}
-	for _, p := range partners {
-		byOwner[p.owner] = append(byOwner[p.owner], p.partner)
-	}
-	for owner, ps := range byOwner {
+	// 4-cycle v-a-x-b (explicit non-clique check; K4s are skipped). Partners
+	// of one owner are a contiguous run of k.partners.
+	for lo := 0; lo < len(k.partners); {
+		owner := k.partners[lo].owner
+		hi := lo
+		for hi < len(k.partners) && k.partners[hi].owner == owner {
+			hi++
+		}
+		ps := k.partners[lo:hi]
+		lo = hi
 		for i := 0; i < len(ps); i++ {
 			for j := i + 1; j < len(ps); j++ {
-				a1, b1 := ps[i], ps[j]
-				for _, x := range g.Neighbors(a1) {
+				a1, b1 := ps[i].partner, ps[j].partner
+				for _, nx := range g.Neighbors(a1) {
+					x := int(nx)
 					if inC(x) || x == owner || x == b1 || !g.HasEdge(x, b1) {
 						continue
 					}
@@ -195,13 +270,20 @@ func (cl *Classification) classifyClique(g *graph.Graph, a *acd.ACD, delta, ci i
 	}
 	// (iv-b4) two partners of one member joined by an outside length-4
 	// path: 6-cycle v-a-b-c-d-e (explicit non-clique check).
-	for owner, ps := range byOwner {
+	for lo := 0; lo < len(k.partners); {
+		owner := k.partners[lo].owner
+		hi := lo
+		for hi < len(k.partners) && k.partners[hi].owner == owner {
+			hi++
+		}
+		ps := k.partners[lo:hi]
+		lo = hi
 		for i := 0; i < len(ps); i++ {
 			for j := 0; j < len(ps); j++ {
 				if i == j {
 					continue
 				}
-				if c := sixViaOnePartnerPair(g, inC, owner, ps[i], ps[j]); c != nil {
+				if c := sixViaOnePartnerPair(g, inC, owner, ps[i].partner, ps[j].partner); c != nil {
 					cl.mark(ci, c)
 					return
 				}
@@ -213,17 +295,16 @@ func (cl *Classification) classifyClique(g *graph.Graph, a *acd.ACD, delta, ci i
 // witnessNonAdjacent builds the Lemma 9 (property 1) 4-cycle for two
 // non-adjacent members: common member neighbors u3, u4 that are adjacent.
 func witnessNonAdjacent(g *graph.Graph, members []int, u1, u2 int) *Loophole {
-	var common []int
+	first := -1
 	for _, u3 := range members {
 		if u3 != u1 && u3 != u2 && g.HasEdge(u3, u1) && g.HasEdge(u3, u2) {
-			common = append(common, u3)
-		}
-	}
-	for i := 0; i < len(common); i++ {
-		for j := i + 1; j < len(common); j++ {
+			if first < 0 {
+				first = u3
+				continue
+			}
 			// Cycle u1-u3-u2-u4; non-clique since u1 and u2 are not
 			// adjacent. The cross pair u3-u4 need not be adjacent.
-			return newCycle([]int{u1, common[i], u2, common[j]})
+			return newCycle([]int{u1, first, u2, u3})
 		}
 	}
 	return nil
@@ -235,15 +316,18 @@ func sixViaOnePartnerPair(g *graph.Graph, inC func(int) bool, owner, a, e int) *
 	if a == e {
 		return nil
 	}
-	for _, b := range g.Neighbors(a) {
+	for _, nb := range g.Neighbors(a) {
+		b := int(nb)
 		if inC(b) || b == owner || b == a || b == e {
 			continue
 		}
-		for _, c := range g.Neighbors(b) {
+		for _, nc := range g.Neighbors(b) {
+			c := int(nc)
 			if inC(c) || c == owner || c == a || c == b || c == e {
 				continue
 			}
-			for _, d := range g.Neighbors(c) {
+			for _, nd := range g.Neighbors(c) {
+				d := int(nd)
 				if inC(d) || d == owner || d == a || d == b || d == c || d == e {
 					continue
 				}

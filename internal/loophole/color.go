@@ -124,7 +124,7 @@ func VerifyHard(g *graph.Graph, a *acd.ACD, cl *Classification) error {
 		for _, v := range members {
 			for _, w := range g.Neighbors(v) {
 				if a.CliqueOf[w] != ci {
-					counts[w]++
+					counts[int(w)]++
 				}
 			}
 		}

@@ -107,10 +107,11 @@ func FindForVertex(g *graph.Graph, delta, v int) *Loophole {
 func fourCycleThrough(g *graph.Graph, v int) *Loophole {
 	nv := g.Neighbors(v)
 	for i := 0; i < len(nv); i++ {
-		a := nv[i]
+		a := int(nv[i])
 		for j := i + 1; j < len(nv); j++ {
-			b := nv[j]
-			for _, x := range g.Neighbors(a) {
+			b := int(nv[j])
+			for _, nx := range g.Neighbors(a) {
+				x := int(nx)
 				if x == v || x == b || !g.HasEdge(x, b) {
 					continue
 				}
@@ -129,22 +130,25 @@ func fourCycleThrough(g *graph.Graph, v int) *Loophole {
 func sixCycleThrough(g *graph.Graph, v int) *Loophole {
 	nv := g.Neighbors(v)
 	for i := 0; i < len(nv); i++ {
-		a := nv[i]
+		a := int(nv[i])
 		for j := 0; j < len(nv); j++ {
-			e := nv[j]
+			e := int(nv[j])
 			if e == a {
 				continue
 			}
 			// Path a-b-c-d-e with all vertices distinct from {v,a,e}.
-			for _, b := range g.Neighbors(a) {
+			for _, nb := range g.Neighbors(a) {
+				b := int(nb)
 				if b == v || b == a || b == e {
 					continue
 				}
-				for _, c := range g.Neighbors(b) {
+				for _, nc := range g.Neighbors(b) {
+					c := int(nc)
 					if c == v || c == a || c == b || c == e {
 						continue
 					}
-					for _, d := range g.Neighbors(c) {
+					for _, nd := range g.Neighbors(c) {
+						d := int(nd)
 						if d == v || d == a || d == b || d == c || d == e {
 							continue
 						}

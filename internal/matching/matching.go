@@ -55,8 +55,9 @@ func MaximalOn(net *local.Network, edges []graph.Edge) ([]graph.Edge, error) {
 	for i := range st {
 		st[i] = state{color: colors[i]}
 	}
+	run := local.NewRunner(lnet, st)
 	for c := 0; c <= lg.MaxDegree(); c++ {
-		st = local.Exchange(lnet, st, func(v int, self state, nbrs local.Nbrs[state]) state {
+		st = run.Step(func(v int, self state, nbrs local.Nbrs[state]) state {
 			if self.in || self.blocked {
 				return self
 			}

@@ -45,8 +45,9 @@ func MIS(net *local.Network) ([]bool, error) {
 	for v := range st {
 		st[v] = misState{color: colors[v]}
 	}
+	run := local.NewRunner(net, st)
 	for c := 0; c < k; c++ {
-		st = local.Exchange(net, st, func(v int, self misState, nbrs local.Nbrs[misState]) misState {
+		st = run.Step(func(v int, self misState, nbrs local.Nbrs[misState]) misState {
 			if self.in || self.blocked {
 				return self
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"deltacoloring"
 	"deltacoloring/internal/graph"
@@ -184,6 +185,11 @@ func cacheKey(g *graph.Graph, req *ColorRequest) string {
 	return key
 }
 
+// spanScratch recycles the span staging slice across jobs: responses may be
+// retained indefinitely by the result cache, so they get one exact-size copy
+// while the append-grown staging buffer returns to the pool.
+var spanScratch = sync.Pool{New: func() any { return new([]PhaseSpan) }}
+
 // resultResponse converts a run result into the wire shape.
 func resultResponse(g *graph.Graph, res *deltacoloring.Result, shatter *deltacoloring.RandStats, elapsedMS float64) *ColorResponse {
 	resp := &ColorResponse{
@@ -195,11 +201,19 @@ func resultResponse(g *graph.Graph, res *deltacoloring.Result, shatter *deltacol
 		Rounds:    res.Rounds,
 		ElapsedMS: elapsedMS,
 	}
+	stage := spanScratch.Get().(*[]PhaseSpan)
+	spans := (*stage)[:0]
 	for _, sp := range res.Spans {
 		if sp.Rounds > 0 {
-			resp.Spans = append(resp.Spans, PhaseSpan{Name: sp.Name, Rounds: sp.Rounds})
+			spans = append(spans, PhaseSpan{Name: sp.Name, Rounds: sp.Rounds})
 		}
 	}
+	if len(spans) > 0 {
+		resp.Spans = make([]PhaseSpan, len(spans))
+		copy(resp.Spans, spans)
+	}
+	*stage = spans[:0]
+	spanScratch.Put(stage)
 	if shatter != nil {
 		resp.Shatter = &ShatterStats{
 			TNodesProposed: shatter.TNodesProposed,

@@ -17,6 +17,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -342,12 +343,28 @@ func (s *Server) failJob(j *job, err error) {
 	j.finish(&ColorResponse{JobID: j.id, State: "failed", Error: err.Error()}, status)
 }
 
+// jsonBufPool recycles response-encoding buffers across requests so steady
+// serving does not allocate a fresh encoder buffer per response.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// Encoding our own response types cannot fail on valid data; fall
+		// back to a bare status so the connection is not left hanging.
+		w.WriteHeader(http.StatusInternalServerError)
+		jsonBufPool.Put(buf)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= 1<<20 { // don't pin giant colorings in the pool
+		jsonBufPool.Put(buf)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {

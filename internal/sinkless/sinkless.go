@@ -178,7 +178,8 @@ func OrientKOut(net *local.Network, k int) (*Orientation, error) {
 		}
 	}
 	for v := 0; v < g.N(); v++ {
-		for _, w := range g.Neighbors(v) {
+		for _, nw := range g.Neighbors(v) {
+			w := int(nw)
 			if v > w {
 				continue
 			}
