@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check race serve bench bench-smoke report report-full fuzz clean
+.PHONY: all build vet test test-short check race chaos serve bench bench-smoke report report-full report-faults fuzz clean
 
 # `check` is the default CI path: vet + the full test suite under -race.
 all: build check
@@ -26,6 +26,13 @@ check:
 race:
 	$(GO) test -race ./internal/local/ ./internal/baseline/ ./internal/service/ .
 
+# The fault-injection / repair / service-hardening suite under the race
+# detector. DELTA_CHAOS_ITERS scales the soak (default 3 fault seeds per
+# case; CI uses the default, nightly soaks can raise it).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestPanic|TestQuarantine|TestWatchdog|TestBreaker|TestServerSideRetry|TestIdempotency|TestClientColorRetry|TestHardening|TestServiceChaos' . ./internal/service/
+	$(GO) test -race -count=1 ./internal/faults/ ./internal/repair/
+
 serve:
 	$(GO) run ./cmd/deltaserved
 
@@ -46,11 +53,16 @@ report:
 report-full:
 	$(GO) run ./cmd/deltabench -scale full
 
+# The fault-tolerance experiment (EXPERIMENTS.md table E18).
+report-faults:
+	$(GO) run ./cmd/deltabench -faults -scale standard
+
 fuzz:
 	$(GO) test -fuzz FuzzNewGraph -fuzztime 30s .
 	$(GO) test -fuzz FuzzVerify -fuzztime 30s .
 	$(GO) test -fuzz FuzzGraphioRead -fuzztime 30s .
 	$(GO) test -fuzz FuzzBuilder -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzRepair -fuzztime 30s ./internal/repair/
 
 clean:
 	$(GO) clean ./...

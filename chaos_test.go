@@ -1,0 +1,165 @@
+package deltacoloring_test
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"deltacoloring"
+	"deltacoloring/internal/faults"
+)
+
+// chaosIters returns the per-case fault-seed count: 3 by default, raised via
+// DELTA_CHAOS_ITERS for the `make chaos` soak.
+func chaosIters(t *testing.T) int64 {
+	t.Helper()
+	if v := os.Getenv("DELTA_CHAOS_ITERS"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad DELTA_CHAOS_ITERS=%q", v)
+		}
+		return n
+	}
+	return 3
+}
+
+// chaosCase is one graph family under chaos.
+type chaosCase struct {
+	name string
+	g    *deltacoloring.Graph
+	algo string
+}
+
+func chaosCases() []chaosCase {
+	return []chaosCase{
+		{"easy-det", deltacoloring.GenEasyCliqueRing(6, 16), "det"},
+		{"hard-det", deltacoloring.GenHardCliqueBipartite(16, 16), "det"},
+		{"mixed-det", deltacoloring.GenHardWithEasyPatch(16, 16), "det"},
+		{"easy-rand", deltacoloring.GenEasyCliqueRing(6, 16), "rand"},
+	}
+}
+
+// chaosColoring produces a verified Δ-coloring of tc.g with the full
+// pipeline, the same way the service does.
+func chaosColoring(t *testing.T, tc chaosCase) []int {
+	t.Helper()
+	var colors []int
+	if tc.algo == "rand" {
+		res, err := deltacoloring.Randomized(tc.g, deltacoloring.ScaledRandomizedParams(), 11)
+		if err != nil {
+			t.Fatalf("%s: randomized pipeline: %v", tc.name, err)
+		}
+		colors = res.Colors
+	} else {
+		res, err := deltacoloring.Deterministic(tc.g, deltacoloring.ScaledParams())
+		if err != nil {
+			t.Fatalf("%s: deterministic pipeline: %v", tc.name, err)
+		}
+		colors = res.Colors
+	}
+	if err := deltacoloring.Verify(tc.g, colors); err != nil {
+		t.Fatalf("%s: pipeline produced invalid coloring: %v", tc.name, err)
+	}
+	return colors
+}
+
+// TestChaosRepairPipeline is the end-to-end chaos property: run the real
+// pipeline, damage its output with a seeded fault plan (crash-stop +
+// corruption), repair distributedly, and require a proper coloring within
+// Δ+1 colors with the outside of the repair set untouched — for every
+// family, algorithm, and fault seed.
+func TestChaosRepairPipeline(t *testing.T) {
+	iters := chaosIters(t)
+	for _, tc := range chaosCases() {
+		colors := chaosColoring(t, tc)
+		delta := tc.g.MaxDegree()
+		for seed := int64(0); seed < iters; seed++ {
+			plan, err := faults.NewPlan(tc.g, faults.Config{
+				Seed: seed, CrashRate: 0.05, CorruptRate: 0.05,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dmg, rep := plan.Damage(colors)
+			res, err := deltacoloring.Repair(tc.g, dmg)
+			if err != nil {
+				t.Fatalf("%s seed %d (%d crashed, %d corrupted): repair: %v",
+					tc.name, seed, len(rep.Crashed), len(rep.Corrupted), err)
+			}
+			if err := deltacoloring.VerifyWithin(tc.g, res.Colors, delta+1); err != nil {
+				t.Fatalf("%s seed %d: post-repair coloring invalid: %v", tc.name, seed, err)
+			}
+			inRepair := make(map[int]bool, len(res.RepairSet))
+			for _, v := range res.RepairSet {
+				inRepair[v] = true
+			}
+			fresh, _ := plan.Damage(colors)
+			for v := range res.Colors {
+				if !inRepair[v] && res.Colors[v] != fresh[v] {
+					t.Fatalf("%s seed %d: vertex %d outside repair set changed", tc.name, seed, v)
+				}
+			}
+			if res.Rounds < 1 {
+				t.Fatalf("%s seed %d: repair charged no rounds", tc.name, seed)
+			}
+		}
+	}
+}
+
+// TestChaosRepairWorkerIndependent pins the reproducibility contract end to
+// end: damage + repair of a pipeline coloring is bit-identical at any worker
+// count for a fixed seed.
+func TestChaosRepairWorkerIndependent(t *testing.T) {
+	tc := chaosCases()[0]
+	colors := chaosColoring(t, tc)
+	plan, err := faults.NewPlan(tc.g, faults.Config{Seed: 5, CrashRate: 0.08, CorruptRate: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) ([]int, *deltacoloring.RepairResult) {
+		dmg, _ := plan.Damage(colors)
+		res, err := deltacoloring.RepairContext(t.Context(), tc.g, dmg,
+			&deltacoloring.RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return dmg, res
+	}
+	baseColors, baseRes := run(1)
+	for _, w := range []int{2, 4, 8} {
+		gotColors, gotRes := run(w)
+		if !reflect.DeepEqual(baseColors, gotColors) {
+			t.Fatalf("repaired colors differ between workers=1 and workers=%d", w)
+		}
+		if baseRes.Rounds != gotRes.Rounds ||
+			!reflect.DeepEqual(baseRes.RepairSet, gotRes.RepairSet) ||
+			!reflect.DeepEqual(baseRes.Damaged, gotRes.Damaged) {
+			t.Fatalf("repair accounting differs between workers=1 and workers=%d", w)
+		}
+	}
+}
+
+// TestChaosEngineFaultsDeterministic pins the injection layer itself: the
+// same plan driven through the LOCAL engine yields the same damage report
+// when replayed, independent of everything but the seed.
+func TestChaosEngineFaultsDeterministic(t *testing.T) {
+	tc := chaosCases()[0]
+	colors := chaosColoring(t, tc)
+	for seed := int64(0); seed < chaosIters(t); seed++ {
+		cfg := faults.Config{Seed: seed, CrashRate: 0.1, DropRate: 0.1, DupRate: 0.05, CorruptRate: 0.1}
+		p1, err := faults.NewPlan(tc.g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := faults.NewPlan(tc.g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, r1 := p1.Damage(colors)
+		d2, r2 := p2.Damage(colors)
+		if !reflect.DeepEqual(d1, d2) || !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("seed %d: identical plans produced different damage", seed)
+		}
+	}
+}

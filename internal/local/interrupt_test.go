@@ -1,0 +1,145 @@
+package local
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deltacoloring/internal/graph"
+)
+
+// A cancellation arriving while a large parallel round is in flight must be
+// observed mid-round: the workers abandon their chunks at the next
+// interrupt-stride check instead of grinding through the whole vertex range,
+// and the Interrupt panic surfaces on the calling goroutine. The trip wire
+// is pulled by the state function itself once a small fraction of the work
+// is done, so the test is deterministic in *when* the cancellation becomes
+// visible without depending on wall-clock timing.
+func TestInterruptObservedMidRound(t *testing.T) {
+	const n = 1 << 20
+	g := graph.Path(n)
+	net := New(g)
+	defer net.Close()
+	net.SetWorkers(4)
+
+	errBoom := errors.New("boom")
+	var tripped atomic.Bool
+	var processed atomic.Int64
+	net.SetInterrupt(func() error {
+		if tripped.Load() {
+			return errBoom
+		}
+		return nil
+	})
+
+	run := NewRunner(net, make([]int, n))
+	var got error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ip, ok := r.(Interrupt)
+				if !ok {
+					panic(r)
+				}
+				got = ip.Err
+			}
+		}()
+		run.Step(func(v int, self int, nbrs Nbrs[int]) int {
+			if processed.Add(1) == n/64 {
+				tripped.Store(true)
+			}
+			return self + 1
+		})
+	}()
+	if !errors.Is(got, errBoom) {
+		t.Fatalf("want Interrupt{errBoom} panic, got %v", got)
+	}
+	// The round must have been abandoned early: every worker may run at
+	// most one more stride past the trip point, so the processed count
+	// stays far below n.
+	if p := processed.Load(); p >= n/2 {
+		t.Fatalf("interrupt ignored mid-round: %d of %d vertices processed", p, n)
+	}
+}
+
+// After a mid-round interrupt, Close must leave no pool goroutines behind.
+func TestInterruptLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	g := graph.Path(1 << 18)
+	net := New(g)
+	net.SetWorkers(8)
+	errBoom := errors.New("boom")
+	var tripped atomic.Bool
+	net.SetInterrupt(func() error {
+		if tripped.Load() {
+			return errBoom
+		}
+		return nil
+	})
+	run := NewRunner(net, make([]int, g.N()))
+	func() {
+		defer func() { recover() }()
+		run.Step(func(v int, self int, nbrs Nbrs[int]) int {
+			tripped.Store(true)
+			return self
+		})
+	}()
+	net.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after interrupt + Close: %d -> %d", before, runtime.NumGoroutine())
+}
+
+// An interrupt installed but never firing must not perturb results or
+// determinism across worker counts (the stride checks are read-only).
+func TestInterruptStrideNoEffect(t *testing.T) {
+	g := graph.Cycle(parallelThreshold * 8)
+	run := func(workers int, withCheck bool) []int {
+		net := New(g)
+		defer net.Close()
+		net.SetWorkers(workers)
+		if withCheck {
+			net.SetInterrupt(func() error { return nil })
+		}
+		st := make([]int, g.N())
+		for v := range st {
+			st[v] = v
+		}
+		r := NewRunner(net, st)
+		var out []int
+		for i := 0; i < 3; i++ {
+			out = r.Step(func(v int, self int, nbrs Nbrs[int]) int {
+				m := self
+				for j := 0; j < nbrs.Len(); j++ {
+					if s := nbrs.State(j); s > m {
+						m = s
+					}
+				}
+				return m
+			})
+		}
+		res := make([]int, len(out))
+		copy(res, out)
+		return res
+	}
+	want := run(1, false)
+	for _, workers := range []int{1, 4} {
+		for _, withCheck := range []bool{false, true} {
+			got := run(workers, withCheck)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("workers=%d check=%t: state differs at %d", workers, withCheck, v)
+				}
+			}
+		}
+	}
+}

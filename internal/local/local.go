@@ -53,6 +53,7 @@ type Network struct {
 	counter  *counter
 	dilation int
 	workers  int
+	faults   FaultHook
 }
 
 type counter struct {
@@ -318,10 +319,23 @@ func (nb Nbrs[S]) At(i int) int { return int(nb.list[i]) }
 // State returns the (previous-round) state of the i-th neighbor.
 func (nb Nbrs[S]) State(i int) S { return nb.st[nb.list[i]] }
 
+// interruptStride is how many vertices a worker processes between mid-round
+// interrupt checks. Round boundaries always check (via Charge); the stride
+// bounds how much extra work a long parallel round performs after a
+// cancellation arrives.
+const interruptStride = 1 << 10
+
 // exchangeInto runs one synchronous round from cur into next (which must be
 // distinct slices of equal length). When done is non-nil it is evaluated on
 // each next state as it is produced, and the number of not-yet-done vertices
 // is returned — fused into the same pass so Iterate needs no O(n) rescan.
+//
+// If a fault hook is installed the round first obtains its RoundFaults view
+// and applies crash/drop/duplicate/corrupt semantics (see faults.go); a nil
+// view keeps the round on the fault-free fast path. An installed interrupt
+// is additionally re-checked every interruptStride vertices inside the
+// round, so cancellation is observed mid-round on large instances rather
+// than only at the next round boundary.
 func exchangeInto[S any](n *Network, cur, next []S,
 	f func(v int, self S, nbrs Nbrs[S]) S, done func(v int, s S) bool) int {
 	if len(cur) != n.g.N() {
@@ -329,11 +343,64 @@ func exchangeInto[S any](n *Network, cur, next []S,
 	}
 	n.Charge(1)
 	g := n.g
+	var rf RoundFaults
+	if n.faults != nil {
+		rf = n.faults.NextRound()
+	}
+	n.counter.mu.Lock()
+	check := n.counter.interrupt
+	n.counter.mu.Unlock()
+	var tripped atomic.Pointer[Interrupt]
 	var notDone atomic.Int64
 	n.run(len(cur), func(lo, hi int) {
 		pending := 0
+		var scratch []int32
+		if rf != nil {
+			// Duplication can at most double a neighborhood.
+			scratch = make([]int32, 0, 2*g.MaxDegree())
+		}
 		for v := lo; v < hi; v++ {
-			s := f(v, cur[v], Nbrs[S]{list: g.Neighbors(v), st: cur})
+			if check != nil && (v-lo)%interruptStride == interruptStride-1 {
+				if tripped.Load() != nil {
+					return // another chunk already tripped; abandon the round
+				}
+				if err := check(); err != nil {
+					tripped.CompareAndSwap(nil, &Interrupt{Err: err})
+					return
+				}
+			}
+			if rf != nil && rf.Crashed(v) {
+				// Crash-stop: the state freezes and, being unable to make
+				// progress, the vertex no longer counts toward quiescence.
+				next[v] = cur[v]
+				continue
+			}
+			list := g.Neighbors(v)
+			if rf != nil {
+				scratch = scratch[:0]
+				faulty := false
+				for _, w := range list {
+					wi := int(w)
+					if rf.Crashed(wi) || rf.Dropped(wi, v) {
+						faulty = true
+						continue
+					}
+					scratch = append(scratch, w)
+					if rf.Duplicated(wi, v) {
+						scratch = append(scratch, w)
+						faulty = true
+					}
+				}
+				if faulty {
+					list = scratch
+				}
+			}
+			s := f(v, cur[v], Nbrs[S]{list: list, st: cur})
+			if rf != nil {
+				if src, ok := rf.Corrupted(v); ok {
+					s = cur[src]
+				}
+			}
 			next[v] = s
 			if done != nil && !done(v, s) {
 				pending++
@@ -343,6 +410,11 @@ func exchangeInto[S any](n *Network, cur, next []S,
 			notDone.Add(int64(pending))
 		}
 	})
+	if ip := tripped.Load(); ip != nil {
+		// Re-raise on the calling goroutine, exactly like Charge does at
+		// round boundaries; entry points recover it into an error.
+		panic(*ip)
+	}
 	return int(notDone.Load())
 }
 

@@ -1,0 +1,86 @@
+package repair
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/faults"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// FuzzRepair drives the full damage-and-repair pipeline over random graphs
+// and random fault plans: a greedy (Δ+1)-coloring is damaged by a seeded
+// plan and repaired distributedly. The repaired coloring must verify, stay
+// within Δ+1 colors (with numColors = Δ+1 the tight attempt always holds,
+// so no extra color may appear), leave the outside of the repair set
+// untouched, and agree with the sequential oracle on repairability.
+func FuzzRepair(f *testing.F) {
+	f.Add(int64(1), int64(2), uint8(30), uint8(10), uint8(10))
+	f.Add(int64(7), int64(5), uint8(200), uint8(40), uint8(0))
+	f.Add(int64(42), int64(0), uint8(3), uint8(0), uint8(255))
+	f.Add(int64(-9), int64(99), uint8(120), uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, graphSeed, faultSeed int64, nRaw, crashRaw, corruptRaw uint8) {
+		n := 2 + int(nRaw)
+		rng := rand.New(rand.NewSource(graphSeed))
+		var g *graph.Graph
+		switch graphSeed % 3 {
+		case 0:
+			g = graph.ErdosRenyi(n, 3/float64(n), rng)
+		case 1, -1:
+			g = graph.RandomTree(n, rng)
+		default:
+			g = graph.ErdosRenyi(n, 0.1, rng)
+		}
+		k := g.MaxDegree() + 1
+
+		clean := coloring.NewPartial(g.N())
+		if err := coloring.GreedyComplete(g, clean, k); err != nil {
+			t.Fatalf("greedy base coloring failed: %v", err)
+		}
+		cfg := faults.Config{
+			Seed:        faultSeed,
+			CrashRate:   float64(crashRaw) / 512,
+			CorruptRate: float64(corruptRaw) / 512,
+		}
+		plan, err := faults.NewPlan(g, cfg)
+		if err != nil {
+			t.Fatalf("plan: %v", err)
+		}
+		dmg, rep := plan.Damage(clean.Colors)
+
+		// The sequential oracle must always succeed with one extra color;
+		// it is the ground truth that the damage is repairable at all.
+		if _, err := Oracle(g, dmg, k); err != nil {
+			t.Fatalf("oracle failed on repairable damage: %v", err)
+		}
+
+		net := local.New(g)
+		defer net.Close()
+		res, err := Repair(net, dmg, k)
+		if err != nil {
+			t.Fatalf("repair failed (damage: %d crashed, %d corrupted): %v",
+				len(rep.Crashed), len(rep.Corrupted), err)
+		}
+		// numColors = Δ+1 gives every damaged vertex deg+1 slack, so the
+		// tight attempt must hold: never grow, never use an extra color.
+		if res.Grown || res.ExtraColorUsed != 0 {
+			t.Fatalf("repair with Δ+1 palette used growth/extra color: %+v", res)
+		}
+		c := coloring.Partial{Colors: dmg}
+		if err := coloring.VerifyComplete(g, &c, k); err != nil {
+			t.Fatalf("repaired coloring invalid: %v", err)
+		}
+		inRepair := make(map[int]bool, len(res.RepairSet))
+		for _, v := range res.RepairSet {
+			inRepair[v] = true
+		}
+		fresh, _ := plan.Damage(clean.Colors)
+		for v := range dmg {
+			if !inRepair[v] && dmg[v] != fresh[v] {
+				t.Fatalf("vertex %d outside the repair set changed color", v)
+			}
+		}
+	})
+}

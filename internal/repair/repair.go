@@ -1,0 +1,247 @@
+// Package repair turns a fault-damaged coloring back into a verified one,
+// distributedly. It is the Brooks-theorem-style recovery story for the
+// Δ-coloring pipeline: any fault-damaged region can be locally recolored
+// with deg+1 list coloring at the cost of at most one extra color (cf.
+// "Fast Distributed Brooks' Theorem" and "Improved Distributed Δ-Coloring",
+// PAPERS.md), so a crashed or corrupted run never has to restart globally.
+//
+// The contract, given a graph and a coloring that is valid outside an
+// unknown damaged region:
+//
+//  1. Detect (1 round): every vertex inspects itself and its neighborhood;
+//     it is damaged if it is uncolored, carries an out-of-range color, or
+//     shares its color with a neighbor (both endpoints of a monochromatic
+//     edge flag themselves — the detector is symmetric, so it needs no
+//     coordination).
+//  2. Tight attempt (1 round): the damaged set is uncolored and checked
+//     against the deg+1 list-coloring precondition with the *original*
+//     palette [0, numColors). If every damaged vertex has more available
+//     colors than damaged neighbors, the region is recolored without any
+//     extra color.
+//  3. Grow + recolor (1 round + list coloring): otherwise the repair set
+//     grows by the 1-hop neighborhood of the damaged region and the palette
+//     gains one extra color. Every vertex of the grown set now satisfies
+//     deg+1 unconditionally (list size >= numColors+1 - colored neighbors
+//     >= repair-set degree + 1), so the list coloring cannot fail. Because
+//     the solver always adopts the smallest available color, the extra
+//     color is used only where the damage forces it.
+//
+// All rounds — detection, the slack check, growth, and the deg+1 solve —
+// are charged through the normal Network counter, so repair cost shows up
+// in the same round accounting as everything else. Vertices outside the
+// repair set never change color.
+package repair
+
+import (
+	"fmt"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/listcolor"
+	"deltacoloring/internal/local"
+)
+
+// Result reports what one Repair call did.
+type Result struct {
+	// Damaged lists the vertices the detector flagged, ascending.
+	Damaged []int
+	// RepairSet lists the vertices actually recolored, ascending. It equals
+	// Damaged unless growth was needed, in which case it is the closed
+	// 1-hop neighborhood of Damaged.
+	RepairSet []int
+	// Grown reports whether the 1-hop growth (and with it the extra color)
+	// was needed.
+	Grown bool
+	// ExtraColorUsed counts repaired vertices that ended up on the extra
+	// color numColors (always 0 when Grown is false).
+	ExtraColorUsed int
+	// Rounds is the number of LOCAL rounds the repair charged.
+	Rounds int
+}
+
+// detectState is the per-vertex state of the detection round.
+type detectState struct {
+	color int
+	bad   bool
+}
+
+// Detect runs the 1-round distributed damage detector and returns the
+// damaged vertices in ascending order: every vertex that is uncolored,
+// out of range for [0, numColors), or in conflict with a neighbor.
+func Detect(net *local.Network, colors []int, numColors int) ([]int, error) {
+	g := net.Graph()
+	if len(colors) != g.N() {
+		return nil, fmt.Errorf("repair: %d colors for %d vertices", len(colors), g.N())
+	}
+	init := make([]detectState, g.N())
+	for v, c := range colors {
+		init[v] = detectState{color: c}
+	}
+	st := local.Exchange(net, init, func(v int, self detectState, nbrs local.Nbrs[detectState]) detectState {
+		if self.color == coloring.None || self.color < 0 || self.color >= numColors {
+			self.bad = true
+			return self
+		}
+		for i := 0; i < nbrs.Len(); i++ {
+			if nbrs.State(i).color == self.color {
+				self.bad = true
+				return self
+			}
+		}
+		return self
+	})
+	var damaged []int
+	for v, s := range st {
+		if s.bad {
+			damaged = append(damaged, v)
+		}
+	}
+	return damaged, nil
+}
+
+// Repair detects the damaged region of colors and recolors it in place,
+// following the package contract. numColors is the palette of the valid
+// region (Δ for pipeline colorings); the result uses at most numColors+1
+// colors, and exactly numColors whenever the tight attempt succeeds.
+// The input slice is repaired in place and also returned.
+func Repair(net *local.Network, colors []int, numColors int) (*Result, error) {
+	g := net.Graph()
+	if numColors < 1 {
+		return nil, fmt.Errorf("repair: numColors must be positive, got %d", numColors)
+	}
+	if numColors < g.MaxDegree() {
+		// The grown-set guarantee (list size >= repair-set degree + 1) needs
+		// numColors >= Δ; anything below cannot even color a max-degree
+		// vertex greedily.
+		return nil, fmt.Errorf("repair: numColors=%d below max degree %d", numColors, g.MaxDegree())
+	}
+	startRounds := net.Rounds()
+	defer net.Phase("repair")()
+
+	damaged, err := Detect(net, colors, numColors)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Damaged: damaged}
+	if len(damaged) == 0 {
+		// Nothing flagged: the coloring must already verify; anything else
+		// is a detector bug, not a caller error.
+		c := coloring.Partial{Colors: colors}
+		if verr := coloring.VerifyComplete(g, &c, numColors); verr != nil {
+			return nil, fmt.Errorf("repair: detector found no damage but coloring is invalid: %w", verr)
+		}
+		res.Rounds = net.Rounds() - startRounds
+		return res, nil
+	}
+
+	inDamaged := make([]bool, g.N())
+	for _, v := range damaged {
+		inDamaged[v] = true
+	}
+	part := coloring.NewPartial(g.N())
+	copy(part.Colors, colors)
+	for _, v := range damaged {
+		part.Colors[v] = coloring.None
+	}
+
+	// Tight attempt: each damaged vertex compares its residual palette
+	// [0, numColors) against its damaged degree — a purely local check, one
+	// round to exchange the verdicts.
+	net.Charge(1)
+	tight := true
+	lists := make([]coloring.Palette, g.N())
+	for _, v := range damaged {
+		lists[v] = coloring.Available(g, part, v, numColors)
+		activeDeg := 0
+		for _, w := range g.Neighbors(v) {
+			if inDamaged[w] {
+				activeDeg++
+			}
+		}
+		if lists[v].Size() < activeDeg+1 {
+			tight = false
+			break
+		}
+	}
+
+	active := inDamaged
+	if !tight {
+		// Grow to the closed 1-hop neighborhood and add the extra color.
+		// One round: damaged vertices announce, neighbors join.
+		net.Charge(1)
+		res.Grown = true
+		active = make([]bool, g.N())
+		for _, v := range damaged {
+			active[v] = true
+			for _, w := range g.Neighbors(v) {
+				active[int(w)] = true
+			}
+		}
+		for v, a := range active {
+			if a {
+				part.Colors[v] = coloring.None
+			}
+		}
+		for v, a := range active {
+			if !a {
+				continue
+			}
+			lists[v] = coloring.Available(g, part, v, numColors+1)
+		}
+	}
+
+	inst := listcolor.Instance{Active: active, Lists: lists}
+	if err := listcolor.Solve(net, inst, part); err != nil {
+		return nil, fmt.Errorf("repair: %w", err)
+	}
+	for v, a := range active {
+		if a {
+			res.RepairSet = append(res.RepairSet, v)
+			if part.Colors[v] == numColors {
+				res.ExtraColorUsed++
+			}
+		}
+	}
+	copy(colors, part.Colors)
+
+	k := numColors
+	if res.Grown {
+		k = numColors + 1
+	}
+	c := coloring.Partial{Colors: colors}
+	if verr := coloring.VerifyComplete(g, &c, k); verr != nil {
+		return nil, fmt.Errorf("repair: repaired coloring failed verification: %w", verr)
+	}
+	res.Rounds = net.Rounds() - startRounds
+	return res, nil
+}
+
+// Oracle is the sequential reference: it uncolors the damaged set and
+// greedily completes with numColors+1 colors. It exists to cross-check the
+// distributed repair in tests and fuzzing; a graph where the oracle fails
+// has no (numColors+1)-repair at all.
+func Oracle(g *graph.Graph, colors []int, numColors int) ([]int, error) {
+	c := coloring.NewPartial(g.N())
+	copy(c.Colors, colors)
+	// Sequential damage scan mirroring Detect.
+	for v := 0; v < g.N(); v++ {
+		col := c.Colors[v]
+		if col == coloring.None || col < 0 || col >= numColors {
+			c.Colors[v] = coloring.None
+			continue
+		}
+		for _, w := range g.Neighbors(v) {
+			if colors[w] == col {
+				c.Colors[v] = coloring.None
+				break
+			}
+		}
+	}
+	if err := coloring.GreedyComplete(g, c, numColors+1); err != nil {
+		return nil, err
+	}
+	if err := coloring.VerifyComplete(g, c, numColors+1); err != nil {
+		return nil, err
+	}
+	return c.Colors, nil
+}

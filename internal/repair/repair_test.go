@@ -1,0 +1,270 @@
+package repair
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/faults"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// mustRing builds the easy clique-ring family (see internal/graph).
+func mustRing(k, delta int) *graph.Graph {
+	g, _ := graph.EasyCliqueRing(k, delta)
+	return g
+}
+
+// greedyColoring returns a valid (Δ+1)-greedy coloring of g.
+func greedyColoring(t *testing.T, g *graph.Graph) []int {
+	t.Helper()
+	c := coloring.NewPartial(g.N())
+	if err := coloring.GreedyComplete(g, c, g.MaxDegree()+1); err != nil {
+		t.Fatal(err)
+	}
+	return c.Colors
+}
+
+func TestDetectFlagsExactlyTheDamage(t *testing.T) {
+	g := graph.ErdosRenyi(300, 0.03, rand.New(rand.NewSource(1)))
+	k := g.MaxDegree() + 1
+	colors := greedyColoring(t, g)
+
+	// Manufacture damage by hand: one uncolored vertex, one out-of-range
+	// color, one monochromatic edge.
+	colors[10] = coloring.None
+	colors[20] = k + 5
+	var u, v int = -1, -1
+	for x := 0; x < g.N() && u < 0; x++ {
+		if x == 10 || x == 20 {
+			continue
+		}
+		for _, w := range g.Neighbors(x) {
+			if int(w) != 10 && int(w) != 20 && int(w) > x {
+				u, v = x, int(w)
+				break
+			}
+		}
+	}
+	if u < 0 {
+		t.Fatal("no usable edge found")
+	}
+	colors[v] = colors[u]
+
+	net := local.New(g)
+	defer net.Close()
+	damaged, err := Detect(net, colors, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]bool{10: true, 20: true, u: true, v: true}
+	for _, d := range damaged {
+		if !want[d] {
+			// Collateral flags are possible only if the hand damage created
+			// secondary conflicts; check it really conflicts.
+			ok := colors[d] == coloring.None || colors[d] >= k
+			for _, w := range g.Neighbors(d) {
+				if colors[w] == colors[d] {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("vertex %d flagged without damage", d)
+			}
+		}
+		delete(want, d)
+	}
+	if len(want) != 0 {
+		t.Fatalf("damaged vertices not flagged: %v", want)
+	}
+	if net.Rounds() != 1 {
+		t.Fatalf("detection charged %d rounds, want 1", net.Rounds())
+	}
+}
+
+func TestRepairNoDamageIsNoop(t *testing.T) {
+	g := mustRing(4, 8)
+	colors := greedyColoring(t, g)
+	orig := append([]int(nil), colors...)
+	net := local.New(g)
+	defer net.Close()
+	res, err := Repair(net, colors, g.MaxDegree()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Damaged) != 0 || len(res.RepairSet) != 0 || res.Grown {
+		t.Fatalf("clean coloring triggered repair: %+v", res)
+	}
+	if !reflect.DeepEqual(orig, colors) {
+		t.Fatal("no-op repair changed colors")
+	}
+	if res.Rounds < 1 {
+		t.Fatal("detection rounds not charged")
+	}
+}
+
+func TestRepairInvalidCleanColoring(t *testing.T) {
+	// A coloring whose flaw the detector cannot see does not exist — but a
+	// caller lying about numColors can produce an incomplete check; the
+	// final verification must still catch detector/solver disagreements.
+	g := graph.Cycle(8)
+	net := local.New(g)
+	defer net.Close()
+	if _, err := Repair(net, make([]int, 4), 2); err == nil ||
+		!strings.Contains(err.Error(), "colors for") {
+		t.Fatalf("length mismatch not rejected: %v", err)
+	}
+	if _, err := Repair(net, make([]int, 8), 0); err == nil {
+		t.Fatal("numColors=0 accepted")
+	}
+	if _, err := Repair(net, make([]int, 8), 1); err == nil {
+		t.Fatal("numColors below max degree accepted")
+	}
+}
+
+// Repairing plan-damaged colorings across several families and seeds: the
+// result must verify with at most one extra color, leave the outside
+// untouched, and stay within the contract's round budget shape.
+func TestRepairDamagedColorings(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	gens := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"erdos-sparse", graph.ErdosRenyi(500, 0.01, rng)},
+		{"erdos-dense", graph.ErdosRenyi(200, 0.1, rng)},
+		{"ring", mustRing(6, 8)},
+		{"torus", graph.Torus(12, 12)},
+	}
+	for _, tc := range gens {
+		for seed := int64(0); seed < 5; seed++ {
+			cfg := faults.Config{Seed: seed, CrashRate: 0.08, CorruptRate: 0.08}
+			p, err := faults.NewPlan(tc.g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := tc.g.MaxDegree() + 1
+			clean := greedyColoring(t, tc.g)
+			dmg, rep := p.Damage(clean)
+			if rep.Total() == 0 {
+				continue
+			}
+			net := local.New(tc.g)
+			res, err := Repair(net, dmg, k)
+			net.Close()
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+			}
+			kMax := k
+			if res.Grown {
+				kMax = k + 1
+			}
+			c := coloring.Partial{Colors: dmg}
+			if err := coloring.VerifyComplete(tc.g, &c, kMax); err != nil {
+				t.Fatalf("%s seed %d: repaired coloring invalid: %v", tc.name, seed, err)
+			}
+			inRepair := make(map[int]bool, len(res.RepairSet))
+			for _, v := range res.RepairSet {
+				inRepair[v] = true
+			}
+			for v := range dmg {
+				if !inRepair[v] && dmg[v] != cleanOrDamaged(clean, p, v) {
+					t.Fatalf("%s seed %d: vertex %d outside repair set changed", tc.name, seed, v)
+				}
+			}
+			if res.Rounds < 1 {
+				t.Fatalf("%s seed %d: no rounds charged", tc.name, seed)
+			}
+		}
+	}
+}
+
+// cleanOrDamaged reconstructs the post-damage pre-repair color of v.
+func cleanOrDamaged(clean []int, p *faults.Plan, v int) int {
+	dmg, _ := p.Damage(clean)
+	return dmg[v]
+}
+
+// The tight attempt must succeed — using no extra color — when damage is a
+// single uncolored vertex with spare palette room.
+func TestRepairTightPathAvoidsExtraColor(t *testing.T) {
+	g := graph.Torus(10, 10) // 4-regular, 5 colors greedy
+	k := g.MaxDegree() + 1
+	colors := greedyColoring(t, g)
+	colors[37] = coloring.None
+	net := local.New(g)
+	defer net.Close()
+	res, err := Repair(net, colors, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grown || res.ExtraColorUsed != 0 {
+		t.Fatalf("single-vertex damage forced growth: %+v", res)
+	}
+	if len(res.RepairSet) != 1 || res.RepairSet[0] != 37 {
+		t.Fatalf("repair set %v, want [37]", res.RepairSet)
+	}
+	c := coloring.Partial{Colors: colors}
+	if err := coloring.VerifyComplete(g, &c, k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Repair is a LOCAL computation: bit-identical results at any worker count.
+func TestRepairWorkerIndependent(t *testing.T) {
+	g := graph.ErdosRenyi(2000, 0.005, rand.New(rand.NewSource(9)))
+	k := g.MaxDegree() + 1
+	clean := greedyColoring(t, g)
+	p, err := faults.NewPlan(g, faults.Config{Seed: 17, CrashRate: 0.05, CorruptRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) ([]int, *Result) {
+		dmg, _ := p.Damage(clean)
+		net := local.New(g)
+		defer net.Close()
+		net.SetWorkers(workers)
+		res, err := Repair(net, dmg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dmg, res
+	}
+	seqColors, seqRes := run(1)
+	for _, w := range []int{2, 8} {
+		gotColors, gotRes := run(w)
+		if !reflect.DeepEqual(seqColors, gotColors) {
+			t.Fatalf("repaired colors differ between workers=1 and workers=%d", w)
+		}
+		if seqRes.Rounds != gotRes.Rounds || !reflect.DeepEqual(seqRes.RepairSet, gotRes.RepairSet) {
+			t.Fatalf("repair accounting differs between workers=1 and workers=%d", w)
+		}
+	}
+}
+
+func TestOracleAgreesOnRepairability(t *testing.T) {
+	g := graph.ErdosRenyi(300, 0.02, rand.New(rand.NewSource(2)))
+	k := g.MaxDegree() + 1
+	clean := greedyColoring(t, g)
+	p, err := faults.NewPlan(g, faults.Config{Seed: 3, CrashRate: 0.1, CorruptRate: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmg, _ := p.Damage(clean)
+	oracleColors, err := Oracle(g, dmg, k)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	c := coloring.Partial{Colors: oracleColors}
+	if err := coloring.VerifyComplete(g, &c, k+1); err != nil {
+		t.Fatal(err)
+	}
+	net := local.New(g)
+	defer net.Close()
+	if _, err := Repair(net, dmg, k); err != nil {
+		t.Fatalf("distributed repair failed where oracle succeeded: %v", err)
+	}
+}

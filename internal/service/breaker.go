@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exposed as the deltaserved_breaker_state gauge.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker guarding the job queue:
+// after `threshold` consecutive server-side job failures it opens and sheds
+// new work with 503 + Retry-After for `cooldown`, then lets exactly one
+// probe job through (half-open); the probe's outcome closes or re-opens the
+// circuit. Client-side failures (bad graphs, client cancellations) are
+// deliberately not fed to it — they say nothing about service health.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int // <= 0 disables the breaker entirely
+	cooldown  time.Duration
+	now       func() time.Time // test seam
+
+	state         int
+	consecutive   int
+	openedAt      time.Time
+	probeInFlight bool
+	opens         uint64 // total closed/half-open -> open transitions
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a new job may be admitted; when it is not, it also
+// returns how long the caller should tell the client to wait.
+func (b *breaker) allow() (bool, time.Duration) {
+	if b.threshold <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if remaining := b.openedAt.Add(b.cooldown).Sub(b.now()); remaining > 0 {
+			return false, remaining
+		}
+		// Cooldown elapsed: transition to half-open and admit this request
+		// as the probe.
+		b.state = breakerHalfOpen
+		b.probeInFlight = true
+		return true, 0
+	default: // half-open
+		if b.probeInFlight {
+			return false, b.cooldown
+		}
+		b.probeInFlight = true
+		return true, 0
+	}
+}
+
+// success records a server-side job success, closing the circuit.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive = 0
+	b.state = breakerClosed
+	b.probeInFlight = false
+	b.mu.Unlock()
+}
+
+// failure records a server-side job failure; reaching the threshold — or
+// any failure of a half-open probe — opens the circuit.
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecutive >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probeInFlight = false
+		b.opens++
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the current state and the total number of opens.
+func (b *breaker) snapshot() (state int, opens uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

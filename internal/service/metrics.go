@@ -18,12 +18,17 @@ import (
 type metrics struct {
 	mu sync.Mutex
 
-	jobsStarted   uint64
-	jobsCompleted uint64
-	jobsFailed    uint64
-	jobsRejected  uint64
-	cacheHits     uint64
-	cacheMisses   uint64
+	jobsStarted      uint64
+	jobsCompleted    uint64
+	jobsFailed       uint64
+	jobsRejected     uint64
+	jobsShed         uint64
+	jobsRetried      uint64
+	jobsQuarantined  uint64
+	watchdogTimeouts uint64
+	idemJoins        uint64
+	cacheHits        uint64
+	cacheMisses      uint64
 
 	phaseRounds map[string]uint64
 
@@ -41,11 +46,16 @@ func newMetrics() *metrics {
 	}
 }
 
-func (m *metrics) jobStarted()  { m.mu.Lock(); m.jobsStarted++; m.mu.Unlock() }
-func (m *metrics) jobFailed()   { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
-func (m *metrics) jobRejected() { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
-func (m *metrics) cacheHit()    { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
-func (m *metrics) cacheMiss()   { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
+func (m *metrics) jobStarted()     { m.mu.Lock(); m.jobsStarted++; m.mu.Unlock() }
+func (m *metrics) jobFailed()      { m.mu.Lock(); m.jobsFailed++; m.mu.Unlock() }
+func (m *metrics) jobRejected()    { m.mu.Lock(); m.jobsRejected++; m.mu.Unlock() }
+func (m *metrics) jobShed()        { m.mu.Lock(); m.jobsShed++; m.mu.Unlock() }
+func (m *metrics) jobRetried()     { m.mu.Lock(); m.jobsRetried++; m.mu.Unlock() }
+func (m *metrics) jobQuarantined() { m.mu.Lock(); m.jobsQuarantined++; m.mu.Unlock() }
+func (m *metrics) watchdogFired()  { m.mu.Lock(); m.watchdogTimeouts++; m.mu.Unlock() }
+func (m *metrics) idemJoin()       { m.mu.Lock(); m.idemJoins++; m.mu.Unlock() }
+func (m *metrics) cacheHit()       { m.mu.Lock(); m.cacheHits++; m.mu.Unlock() }
+func (m *metrics) cacheMiss()      { m.mu.Lock(); m.cacheMisses++; m.mu.Unlock() }
 
 // jobCompleted records a successful run and its wall time.
 func (m *metrics) jobCompleted(d time.Duration) {
@@ -82,7 +92,7 @@ func escapeLabel(v string) string {
 // writeTo renders the registry in Prometheus text exposition format.
 // Gauges that live outside the registry (queue depth, worker count) are
 // passed in by the server at scrape time.
-func (m *metrics) writeTo(w io.Writer, queueDepth, workers int) {
+func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -93,11 +103,17 @@ func (m *metrics) writeTo(w io.Writer, queueDepth, workers int) {
 	counter("deltaserved_jobs_completed_total", "Jobs that produced a verified coloring.", m.jobsCompleted)
 	counter("deltaserved_jobs_failed_total", "Jobs that ended in an error (including cancellations and panics).", m.jobsFailed)
 	counter("deltaserved_jobs_rejected_total", "Color requests rejected with 429 because the queue was full.", m.jobsRejected)
+	counter("deltaserved_jobs_shed_total", "Color requests shed with 503 by the open circuit breaker.", m.jobsShed)
+	counter("deltaserved_job_retries_total", "Attempt re-runs after transient server-side failures.", m.jobsRetried)
+	counter("deltaserved_jobs_quarantined_total", "Jobs quarantined because their final attempt panicked.", m.jobsQuarantined)
+	counter("deltaserved_watchdog_timeouts_total", "Hung runs the watchdog converted into 504s.", m.watchdogTimeouts)
+	counter("deltaserved_idempotent_joins_total", "Retried POSTs joined to an existing job via idempotency key.", m.idemJoins)
 	counter("deltaserved_cache_hits_total", "Color requests answered from the result cache.", m.cacheHits)
 	counter("deltaserved_cache_misses_total", "Color requests that missed the result cache.", m.cacheMisses)
 
 	fmt.Fprintf(w, "# HELP deltaserved_queue_depth Jobs currently waiting in the FIFO queue.\n# TYPE deltaserved_queue_depth gauge\ndeltaserved_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "# HELP deltaserved_workers Size of the worker pool.\n# TYPE deltaserved_workers gauge\ndeltaserved_workers %d\n", workers)
+	fmt.Fprintf(w, "# HELP deltaserved_breaker_state Circuit breaker state (0 closed, 1 open, 2 half-open).\n# TYPE deltaserved_breaker_state gauge\ndeltaserved_breaker_state %d\n", breakerState)
 
 	fmt.Fprint(w, "# HELP deltaserved_phase_rounds_total LOCAL rounds charged per pipeline phase, harvested from local.Span tracing.\n# TYPE deltaserved_phase_rounds_total counter\n")
 	names := make([]string, 0, len(m.phaseRounds))

@@ -36,6 +36,10 @@ type ColorRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the result cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+	// IdempotencyKey deduplicates retried POSTs: while a job with the same
+	// key is retained, a new request joins it instead of recomputing. The
+	// Idempotency-Key header is an equivalent spelling.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // GraphSpec is an inline edge-pair graph.
@@ -82,6 +86,9 @@ type ColorResponse struct {
 	Shatter   *ShatterStats `json:"shatter,omitempty"`
 	ElapsedMS float64       `json:"elapsed_ms,omitempty"`
 	Error     string        `json:"error,omitempty"`
+	// Quarantined marks a failed job whose final attempt panicked; the job
+	// record is retained for inspection past normal eviction.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // parseRequest decodes and validates a ColorRequest body.

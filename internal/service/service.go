@@ -22,7 +22,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,12 +54,31 @@ type Config struct {
 	// (default 1<<20).
 	MaxVertices int
 	// MaxJobs bounds the retained job table; finished jobs are evicted
-	// oldest-first beyond it (default 1024).
+	// oldest-first beyond it (default 1024). Quarantined jobs (panicked
+	// runs kept for inspection) are evicted only after every other
+	// candidate.
 	MaxJobs int
+	// MaxRetries is how many times a job is re-run after a transient
+	// server-side failure (panic or internal error), with exponential
+	// backoff and jitter between attempts (default 1; negative disables).
+	MaxRetries int
+	// RetryBaseBackoff is the first retry delay; attempt k waits
+	// RetryBaseBackoff * 2^(k-1) plus up to 50% jitter (default 50ms).
+	RetryBaseBackoff time.Duration
+	// BreakerThreshold opens the circuit breaker after this many
+	// consecutive server-side job failures (default 5; negative disables).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker sheds load before letting a
+	// probe through (default 10s).
+	BreakerCooldown time.Duration
+	// WatchdogGrace is how long past its deadline a running job may keep
+	// executing before the watchdog declares it hung, fails it with 504,
+	// and returns the worker to the pool (default 2s).
+	WatchdogGrace time.Duration
 
 	// runHook, when set, runs on the worker goroutine just before a job's
-	// pipeline starts. It is a test seam for making saturation and slow
-	// jobs deterministic.
+	// pipeline starts (once per attempt). It is a test seam for making
+	// saturation, slow jobs, and injected failures deterministic.
 	runHook func(*job)
 }
 
@@ -86,23 +107,44 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBaseBackoff <= 0 {
+		c.RetryBaseBackoff = 50 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = 2 * time.Second
+	}
 	return c
 }
 
 // job tracks one queued coloring run through its lifecycle.
 type job struct {
-	id     string
-	req    *ColorRequest
-	g      *graph.Graph
-	key    string
-	ctx    context.Context
-	cancel context.CancelFunc
+	id      string
+	req     *ColorRequest
+	g       *graph.Graph
+	key     string
+	idemKey string
+	ctx     context.Context
+	cancel  context.CancelFunc
 
-	mu     sync.Mutex
-	state  string // "queued" -> "running" -> "done" | "failed"
-	resp   *ColorResponse
-	status int // HTTP status a sync waiter should use
-	done   chan struct{}
+	mu          sync.Mutex
+	state       string // "queued" -> "running" -> "done" | "failed"
+	resp        *ColorResponse
+	status      int // HTTP status a sync waiter should use
+	quarantined bool
+	finished    bool
+	done        chan struct{}
 }
 
 func (j *job) snapshot() (*ColorResponse, int) {
@@ -120,11 +162,31 @@ func (j *job) setState(s string) {
 	j.mu.Unlock()
 }
 
-// finish publishes the job's terminal response. resp must already carry
-// the job ID and be fully built: it may simultaneously be visible through
-// the result cache, so no mutation after this point.
+// quarantine marks a job whose run panicked; quarantined records are kept
+// for inspection and evicted from the job table only as a last resort.
+func (j *job) quarantine() {
+	j.mu.Lock()
+	j.quarantined = true
+	j.mu.Unlock()
+}
+
+func (j *job) isQuarantined() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.quarantined
+}
+
+// finish publishes the job's terminal response; the first call wins and
+// later calls are no-ops (the watchdog and a slow run may race). resp must
+// already carry the job ID and be fully built: it may simultaneously be
+// visible through the result cache, so no mutation after this point.
 func (j *job) finish(resp *ColorResponse, status int) {
 	j.mu.Lock()
+	if j.finished {
+		j.mu.Unlock()
+		return
+	}
+	j.finished = true
 	j.state = resp.State
 	j.resp = resp
 	j.status = status
@@ -138,10 +200,11 @@ func (j *job) finish(resp *ColorResponse, status int) {
 // Server is the serving subsystem; create with New, expose via Handler, and
 // stop with Shutdown.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	met   *metrics
-	cache *lruCache
+	cfg     Config
+	mux     *http.ServeMux
+	met     *metrics
+	cache   *lruCache
+	breaker *breaker
 
 	queue   chan *job
 	qmu     sync.RWMutex // guards queue sends against close
@@ -150,6 +213,7 @@ type Server struct {
 
 	jmu      sync.Mutex
 	jobs     map[string]*job
+	idem     map[string]*job // idempotency key -> job, subset of jobs
 	jobOrder []string
 	jobSeq   uint64
 }
@@ -158,12 +222,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		met:   newMetrics(),
-		cache: newLRU(cfg.CacheSize),
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		met:     newMetrics(),
+		cache:   newLRU(cfg.CacheSize),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		queue:   make(chan *job, cfg.QueueDepth),
+		jobs:    make(map[string]*job),
+		idem:    make(map[string]*job),
 	}
 	s.mux.HandleFunc("POST /v1/color", s.handleColor)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -221,36 +287,67 @@ func (s *Server) enqueue(j *job) error {
 }
 
 // registerJob assigns an ID, retains the job for polling, and evicts the
-// oldest finished jobs beyond the retention bound.
-func (s *Server) registerJob(j *job) {
+// oldest finished jobs beyond the retention bound (quarantined records
+// last). When the job carries an idempotency key already owned by an
+// in-flight or successfully finished job, nothing is registered and the
+// existing job is returned instead; a failed job does not pin its key, so a
+// client retry after a 5xx re-runs the work rather than replaying the error.
+func (s *Server) registerJob(j *job) (existing *job) {
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
+	if j.idemKey != "" {
+		if prev, ok := s.idem[j.idemKey]; ok {
+			if !prev.failedTerminal() {
+				return prev
+			}
+			// prev stays in the job table for polling; only the key moves.
+			delete(s.idem, j.idemKey)
+		}
+		s.idem[j.idemKey] = j
+	}
 	s.jobSeq++
 	j.id = fmt.Sprintf("j%08d", s.jobSeq)
 	s.jobs[j.id] = j
 	s.jobOrder = append(s.jobOrder, j.id)
 	if len(s.jobs) <= s.cfg.MaxJobs {
-		return
+		return nil
 	}
-	keep := s.jobOrder[:0]
-	for _, id := range s.jobOrder {
-		old, live := s.jobs[id]
-		if !live {
-			continue
+	// Two eviction passes: everything terminal but quarantined first, then
+	// quarantined records if the table is still over budget.
+	for _, spareQuarantined := range []bool{true, false} {
+		if len(s.jobs) <= s.cfg.MaxJobs {
+			break
 		}
-		if len(s.jobs) > s.cfg.MaxJobs && old.terminal() {
-			delete(s.jobs, id)
-			continue
+		keep := s.jobOrder[:0]
+		for _, id := range s.jobOrder {
+			old, live := s.jobs[id]
+			if !live {
+				continue
+			}
+			if len(s.jobs) > s.cfg.MaxJobs && old.terminal() &&
+				!(spareQuarantined && old.isQuarantined()) {
+				s.dropJobLocked(old)
+				continue
+			}
+			keep = append(keep, id)
 		}
-		keep = append(keep, id)
+		s.jobOrder = keep
 	}
-	s.jobOrder = keep
+	return nil
+}
+
+// dropJobLocked removes a job and its idempotency mapping; jmu must be held.
+func (s *Server) dropJobLocked(j *job) {
+	delete(s.jobs, j.id)
+	if j.idemKey != "" && s.idem[j.idemKey] == j {
+		delete(s.idem, j.idemKey)
+	}
 }
 
 // unregisterJob drops a job that never made it into the queue.
 func (s *Server) unregisterJob(j *job) {
 	s.jmu.Lock()
-	delete(s.jobs, j.id)
+	s.dropJobLocked(j)
 	s.jmu.Unlock()
 }
 
@@ -258,6 +355,12 @@ func (j *job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state == "done" || j.state == "failed"
+}
+
+func (j *job) failedTerminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished && j.state == "failed"
 }
 
 // worker pops jobs until the queue is closed and drained.
@@ -268,24 +371,92 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one coloring with panic isolation: a panicking pipeline
-// fails its own job and leaves the worker alive.
+// runOutcome is one attempt's result, handed from the attempt goroutine
+// back to the supervising worker.
+type runOutcome struct {
+	res      *deltacoloring.Result
+	shatter  *deltacoloring.RandStats
+	err      error
+	panicked bool
+}
+
+// runJob supervises one job: it runs attempts on a child goroutine so the
+// worker can watchdog them, retries transient server-side failures with
+// exponential backoff + jitter, feeds the circuit breaker, and quarantines
+// jobs whose final attempt panicked. A hung attempt — one that outlives its
+// deadline by more than WatchdogGrace without unwinding — is failed with a
+// clean 504 and abandoned, returning the worker to the pool.
 func (s *Server) runJob(j *job) {
 	s.met.jobStarted()
 	j.setState("running")
 	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		out := make(chan runOutcome, 1) // buffered: an abandoned attempt must not leak
+		go s.runAttempt(j, out)
+		var o runOutcome
+		select {
+		case o = <-out:
+		case <-j.ctx.Done():
+			// Deadline or cancellation while the attempt is in flight: the
+			// run aborts itself at its next round boundary; give it the
+			// grace window, then declare it hung.
+			grace := time.NewTimer(s.cfg.WatchdogGrace)
+			select {
+			case o = <-out:
+				grace.Stop()
+			case <-grace.C:
+				s.met.watchdogFired()
+				s.met.jobFailed()
+				s.breaker.failure()
+				j.finish(&ColorResponse{JobID: j.id, State: "failed",
+					Error: "watchdog: run exceeded its deadline and did not unwind"},
+					http.StatusGatewayTimeout)
+				return
+			}
+		}
+		if o.err == nil {
+			elapsed := time.Since(start)
+			resp := resultResponse(j.g, o.res, o.shatter, float64(elapsed.Microseconds())/1000)
+			resp.JobID = j.id
+			if !j.req.NoCache {
+				s.cache.add(j.key, resp)
+			}
+			s.met.jobCompleted(elapsed)
+			s.breaker.success()
+			j.finish(resp, http.StatusOK)
+			return
+		}
+		if retryableFailure(o) && attempt < s.cfg.MaxRetries && j.ctx.Err() == nil {
+			s.met.jobRetried()
+			if sleepBackoff(j.ctx, s.cfg.RetryBaseBackoff, attempt) {
+				continue
+			}
+			// Deadline consumed the backoff; fall through and fail with the
+			// attempt's own error.
+		}
+		if o.panicked {
+			j.quarantine()
+			s.met.jobQuarantined()
+		}
+		s.failJob(j, o.err, o.panicked)
+		return
+	}
+}
+
+// runAttempt executes one pipeline attempt with panic isolation and sends
+// exactly one outcome. It touches no job state beyond reads, so a timed-out
+// attempt can be safely abandoned by its supervisor.
+func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.met.jobFailed()
-			j.finish(&ColorResponse{JobID: j.id, State: "failed", Error: fmt.Sprintf("internal panic: %v", r)},
-				http.StatusInternalServerError)
+			out <- runOutcome{err: fmt.Errorf("internal panic: %v", r), panicked: true}
 		}
 	}()
 	if hook := s.cfg.runHook; hook != nil {
 		hook(j)
 	}
 	if err := j.ctx.Err(); err != nil {
-		s.failJob(j, err)
+		out <- runOutcome{err: err}
 		return
 	}
 	opts := &deltacoloring.RunOptions{SpanHook: s.met.addSpan}
@@ -314,22 +485,47 @@ func (s *Server) runJob(j *job) {
 	if err == nil {
 		err = deltacoloring.Verify(j.g, res.Colors)
 	}
-	if err != nil {
-		s.failJob(j, err)
-		return
+	out <- runOutcome{res: res, shatter: shatter, err: err}
+}
+
+// retryableFailure reports whether an attempt's failure is worth re-running:
+// panics and internal errors are (injected faults and transient breakage
+// look exactly like them), while client-attributable outcomes — bad input
+// classes and the job's own deadline/cancellation — are deterministic and
+// are not.
+func retryableFailure(o runOutcome) bool {
+	if o.panicked {
+		return true
 	}
-	elapsed := time.Since(start)
-	resp := resultResponse(j.g, res, shatter, float64(elapsed.Microseconds())/1000)
-	resp.JobID = j.id
-	if !j.req.NoCache {
-		s.cache.add(j.key, resp)
+	switch {
+	case errors.Is(o.err, context.DeadlineExceeded),
+		errors.Is(o.err, context.Canceled),
+		errors.Is(o.err, deltacoloring.ErrNotDense),
+		errors.Is(o.err, deltacoloring.ErrBrooks):
+		return false
 	}
-	s.met.jobCompleted(elapsed)
-	j.finish(resp, http.StatusOK)
+	return true
+}
+
+// sleepBackoff waits RetryBaseBackoff * 2^attempt plus up to 50% jitter,
+// abandoning the wait (and returning false) if ctx finishes first.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) bool {
+	d := base << attempt
+	d += time.Duration(rand.Int63n(int64(d)/2 + 1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // failJob maps a pipeline error onto an HTTP status and finishes the job.
-func (s *Server) failJob(j *job, err error) {
+// Server-side failures (500s, timeouts of our own making) feed the circuit
+// breaker; client-attributable ones do not.
+func (s *Server) failJob(j *job, err error, panicked bool) {
 	s.met.jobFailed()
 	status := http.StatusInternalServerError
 	switch {
@@ -340,7 +536,11 @@ func (s *Server) failJob(j *job, err error) {
 	case errors.Is(err, deltacoloring.ErrNotDense), errors.Is(err, deltacoloring.ErrBrooks):
 		status = http.StatusUnprocessableEntity
 	}
-	j.finish(&ColorResponse{JobID: j.id, State: "failed", Error: err.Error()}, status)
+	if status == http.StatusInternalServerError {
+		s.breaker.failure()
+	}
+	j.finish(&ColorResponse{JobID: j.id, State: "failed", Error: err.Error(),
+		Quarantined: panicked}, status)
 }
 
 // jsonBufPool recycles response-encoding buffers across requests so steady
@@ -396,6 +596,16 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		s.met.cacheMiss()
 	}
 
+	// The breaker guards fresh work only: cache hits above never reach it,
+	// and joining an existing idempotent job adds no load either.
+	if ok, retryAfter := s.breaker.allow(); !ok {
+		s.met.jobShed()
+		secs := int(retryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable, "circuit breaker open, retry in %ds", secs)
+		return
+	}
+
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -403,14 +613,41 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 			timeout = s.cfg.MaxTimeout
 		}
 	}
+	idemKey := req.IdempotencyKey
+	if idemKey == "" {
+		idemKey = r.Header.Get("Idempotency-Key")
+	}
 	parent := context.Background()
 	if !req.Async {
-		// Sync callers abandon the run when they go away or time out.
-		parent = r.Context()
+		// Sync callers abandon the run when they go away or time out — unless
+		// the job is shared through an idempotency key, in which case a
+		// retrying client must not cancel the attempt it will re-join.
+		if idemKey == "" {
+			parent = r.Context()
+		}
 	}
 	ctx, cancel := context.WithTimeout(parent, timeout)
-	j := &job{req: req, g: g, key: key, ctx: ctx, cancel: cancel, state: "queued", done: make(chan struct{})}
-	s.registerJob(j)
+	j := &job{req: req, g: g, key: key, idemKey: idemKey, ctx: ctx, cancel: cancel,
+		state: "queued", done: make(chan struct{})}
+	if existing := s.registerJob(j); existing != nil {
+		// A retried POST: join the job already doing (or done with) this
+		// work instead of recomputing it.
+		cancel()
+		s.met.idemJoin()
+		if req.Async {
+			resp, _ := existing.snapshot()
+			writeJSON(w, http.StatusAccepted, resp)
+			return
+		}
+		select {
+		case <-existing.done:
+			resp, status := existing.snapshot()
+			writeJSON(w, status, resp)
+		case <-r.Context().Done():
+			writeError(w, 499, "%v", r.Context().Err())
+		}
+		return
+	}
 
 	if err := s.enqueue(j); err != nil {
 		cancel()
@@ -462,6 +699,31 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// quarantinedCount reports how many retained job records are quarantined.
+func (s *Server) quarantinedCount() int {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.isQuarantined() {
+			n++
+		}
+	}
+	return n
+}
+
+// breakerStateName renders a breaker state for humans.
+func breakerStateName(state int) string {
+	switch state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	state := "ok"
@@ -469,14 +731,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 		state = "shutting down"
 	}
+	bState, bOpens := s.breaker.snapshot()
 	writeJSON(w, status, map[string]any{
-		"status":      state,
-		"queue_depth": len(s.queue),
-		"workers":     s.cfg.Workers,
+		"status":        state,
+		"queue_depth":   len(s.queue),
+		"workers":       s.cfg.Workers,
+		"breaker":       breakerStateName(bState),
+		"breaker_opens": bOpens,
+		"quarantined":   s.quarantinedCount(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.writeTo(w, len(s.queue), s.cfg.Workers)
+	bState, _ := s.breaker.snapshot()
+	s.met.writeTo(w, len(s.queue), s.cfg.Workers, bState)
 }
