@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check race chaos serve bench bench-smoke report report-full report-faults fuzz clean
+.PHONY: all build vet test test-short check race chaos serve bench bench-smoke report report-full report-faults report-frontier fuzz clean
 
 # `check` is the default CI path: vet + the full test suite under -race.
 all: build check
@@ -40,14 +40,20 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # One iteration of every benchmark: catches bit-rot in benchmark code and
-# gross perf/alloc regressions without the full calibration cost.
+# gross perf/alloc regressions without the full calibration cost. The
+# deltabench invocations run every pipeline on both engines (frontier and
+# dense) and fail on any round-count divergence — the cheap standing
+# result-preservation check for frontier scheduling.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 	$(GO) run ./cmd/deltabench -bench -bench-iters 1 -bench-out /dev/null
+	$(GO) run ./cmd/deltabench -frontier -scale quick
 
-# The evaluation tables of EXPERIMENTS.md (standard scale, a few minutes).
+# The evaluation tables of EXPERIMENTS.md (standard scale, a few minutes),
+# followed by the frontier-occupancy table E19.
 report:
 	$(GO) run ./cmd/deltabench -scale standard
+	$(GO) run ./cmd/deltabench -frontier -scale standard
 
 # Adds the paper-exact Δ=126 instances and large-n points (much longer).
 report-full:
@@ -57,12 +63,17 @@ report-full:
 report-faults:
 	$(GO) run ./cmd/deltabench -faults -scale standard
 
+# The frontier-occupancy experiment (EXPERIMENTS.md table E19).
+report-frontier:
+	$(GO) run ./cmd/deltabench -frontier -scale standard
+
 fuzz:
 	$(GO) test -fuzz FuzzNewGraph -fuzztime 30s .
 	$(GO) test -fuzz FuzzVerify -fuzztime 30s .
 	$(GO) test -fuzz FuzzGraphioRead -fuzztime 30s .
 	$(GO) test -fuzz FuzzBuilder -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzRepair -fuzztime 30s ./internal/repair/
+	$(GO) test -fuzz FuzzFrontier -fuzztime 30s ./internal/local/
 
 clean:
 	$(GO) clean ./...

@@ -16,14 +16,19 @@ import (
 // -benchmem triple (time, bytes, allocation count per op) plus the
 // pipeline's round count, so allocation regressions and behavioral drift
 // show up in the same artifact (see BENCH_csr.json for the tracked
-// snapshot).
+// snapshot). Pipeline entries also carry the frontier occupancy of their
+// last iteration: engine rounds, sparse rounds, and the fraction of vertex
+// evaluations the activation set skipped (BENCH_frontier.json).
 type benchRecord struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	Rounds      int     `json:"rounds"`
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Rounds       int     `json:"rounds"`
+	EngineRounds int     `json:"engine_rounds,omitempty"`
+	SparseRounds int     `json:"sparse_rounds,omitempty"`
+	SkippedFrac  float64 `json:"skipped_frac,omitempty"`
 }
 
 type benchReport struct {
@@ -59,14 +64,48 @@ func measure(name string, iters int, fn func() int) benchRecord {
 	}
 }
 
+// withFrontier attaches a run's frontier occupancy to its record.
+func withFrontier(rec benchRecord, fs deltacoloring.FrontierStats) benchRecord {
+	rec.EngineRounds = fs.EngineRounds
+	rec.SparseRounds = fs.SparseRounds
+	if total := fs.ActiveVertices + fs.SkippedVertices; total > 0 {
+		rec.SkippedFrac = float64(fs.SkippedVertices) / float64(total)
+	}
+	return rec
+}
+
 // runBench executes the flagship end-to-end pipelines with allocation
 // accounting and writes a JSON report: the machine-readable analogue of
-// `go test -bench M16 -benchmem`.
+// `go test -bench M16 -benchmem`. The deterministic and randomized
+// pipelines run on both engines (frontier-scheduled and dense); the run
+// fails on any round-count divergence, making every -bench invocation —
+// including `make bench-smoke` — a result-preservation cross-check.
 func runBench(w io.Writer, iters int) error {
 	g := deltacoloring.GenHardCliqueBipartite(16, 16)
+	dense := &deltacoloring.RunOptions{DisableFrontier: true}
+	var fs deltacoloring.FrontierStats
+	detRec := measure("deterministic_m16", iters, func() int {
+		res, err := deltacoloring.Deterministic(g, deltacoloring.ScaledParams())
+		if err != nil {
+			panic(err)
+		}
+		fs = res.Frontier
+		return res.Rounds
+	})
+	detRec = withFrontier(detRec, fs)
+	randRec := measure("randomized_m16", iters, func() int {
+		res, err := deltacoloring.Randomized(g, deltacoloring.ScaledRandomizedParams(), 1)
+		if err != nil {
+			panic(err)
+		}
+		fs = res.Frontier
+		return res.Rounds
+	})
+	randRec = withFrontier(randRec, fs)
 	records := []benchRecord{
-		measure("deterministic_m16", iters, func() int {
-			res, err := deltacoloring.Deterministic(g, deltacoloring.ScaledParams())
+		detRec,
+		measure("deterministic_m16_dense", iters, func() int {
+			res, err := deltacoloring.DeterministicContext(nil, g, deltacoloring.ScaledParams(), dense)
 			if err != nil {
 				panic(err)
 			}
@@ -80,13 +119,20 @@ func runBench(w io.Writer, iters int) error {
 			}
 			return res.Rounds
 		}),
-		measure("randomized_m16", iters, func() int {
-			res, err := deltacoloring.Randomized(g, deltacoloring.ScaledRandomizedParams(), 1)
+		randRec,
+		measure("randomized_m16_dense", iters, func() int {
+			res, err := deltacoloring.RandomizedContext(nil, g, deltacoloring.ScaledRandomizedParams(), 1, dense)
 			if err != nil {
 				panic(err)
 			}
 			return res.Rounds
 		}),
+	}
+	for _, pair := range [][2]int{{0, 1}, {3, 4}} {
+		a, b := records[pair[0]], records[pair[1]]
+		if a.Rounds != b.Rounds {
+			return fmt.Errorf("engine divergence: %s charged %d rounds, %s %d", a.Name, a.Rounds, b.Name, b.Rounds)
+		}
 	}
 	// Repair-path overhead: damage a finished coloring at a 5% fault rate
 	// and repair it. Damage regenerates per iteration (Repair works in
@@ -110,7 +156,7 @@ func runBench(w io.Writer, iters int) error {
 		return res.Rounds
 	}))
 	report := benchReport{
-		Description: "End-to-end pipeline benchmarks on GenHardCliqueBipartite(16, 16) (n=512, delta=16, scaled parameters). repair_m16_5pct is the repair-path overhead entry: detect + recolor after seeded crash/corrupt damage at a 5% total fault rate, to be read against the full-pipeline records (recovery should cost a small fraction of recomputation; BENCH_faults.json tracks it). Regenerate with: go run ./cmd/deltabench -bench -bench-out BENCH_faults.json",
+		Description: "End-to-end pipeline benchmarks on GenHardCliqueBipartite(16, 16) (n=512, delta=16, scaled parameters). The *_dense entries rerun the same pipeline with frontier scheduling disabled; round counts are cross-checked and the run fails on divergence. repair_m16_5pct is the repair-path overhead entry: detect + recolor after seeded crash/corrupt damage at a 5% total fault rate, to be read against the full-pipeline records (recovery should cost a small fraction of recomputation; BENCH_faults.json tracks it). Regenerate with: go run ./cmd/deltabench -bench -bench-out BENCH_frontier.json",
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),

@@ -6,23 +6,35 @@
 //	deltabench [-scale quick|standard|full] [-only E1,E5,...]
 //	deltabench -bench [-bench-iters n] [-bench-out file.json]
 //	deltabench -faults [-scale quick|standard|full]
+//	deltabench -frontier [-scale quick|standard|full]
+//	deltabench ... [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Standard scale finishes in a few minutes; full scale adds the paper-exact
 // Δ=126 instances and large n points and can take considerably longer.
 // -bench skips the experiment tables and instead measures the end-to-end
 // pipelines with -benchmem-style allocation accounting, emitting a JSON
 // report (BENCH_csr.json tracks the before/after snapshot of the CSR
-// refactor; BENCH_faults.json the repair-path overhead).
+// refactor; BENCH_faults.json the repair-path overhead; BENCH_frontier.json
+// the frontier-scheduling snapshot). Each workload runs on both engines and
+// the command fails if the frontier and dense round counts diverge.
 // -faults runs E18, the fault-tolerance experiment: a pipeline coloring is
 // damaged by seeded crash-stop + corruption plans at increasing rates and
 // repaired distributedly, measuring blast radius, extra colors, and repair
 // rounds (see EXPERIMENTS.md table E18).
+// -frontier runs E19, the frontier-occupancy experiment: each flagship
+// workload reports its sparse-round share and skipped vertex evaluations,
+// cross-checked round-for-round against the dense engine (EXPERIMENTS.md
+// table E19, DESIGN.md "Frontier scheduling contract").
+// -cpuprofile and -memprofile write pprof profiles of whichever mode ran;
+// see CONTRIBUTING.md for the profiling workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -42,10 +54,37 @@ func run(args []string) error {
 	onlyFlag := fs.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all")
 	benchFlag := fs.Bool("bench", false, "run the allocation benchmarks instead of the experiment tables")
 	faultsFlag := fs.Bool("faults", false, "run the fault-tolerance experiment (E18) instead of the experiment tables")
+	frontierFlag := fs.Bool("frontier", false, "run the frontier-occupancy experiment (E19) instead of the experiment tables")
 	benchIters := fs.Int("bench-iters", 5, "iterations per benchmark in -bench mode (1 for a smoke run)")
 	benchOut := fs.String("bench-out", "", "write the -bench JSON report to this file (default stdout)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "deltabench: memprofile:", werr)
+			}
+			f.Close()
+		}()
 	}
 	if *benchFlag {
 		if *benchIters < 1 {
@@ -83,6 +122,18 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("(E18 finished in %v)\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	if *frontierFlag {
+		start := time.Now()
+		tab, err := bench.E19(scale)
+		if err != nil {
+			return fmt.Errorf("E19: %w", err)
+		}
+		if _, err := tab.WriteTo(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("(E19 finished in %v)\n", time.Since(start).Round(time.Millisecond))
 		return nil
 	}
 	only := map[string]bool{}

@@ -55,6 +55,12 @@ type RandStats = core.RandStats
 // Span is a named round-accounting segment.
 type Span = local.Span
 
+// FrontierStats aggregates the engine's activation accounting: how many
+// rounds ran on the sparse (frontier-scheduled) path and how many vertex
+// evaluations the frontier skipped. See DESIGN.md, "Frontier scheduling
+// contract".
+type FrontierStats = local.FrontierStats
+
 // Sentinel errors.
 var (
 	// ErrNotDense marks inputs outside the paper's dense-graph class.
@@ -87,6 +93,8 @@ type Result struct {
 	Rounds int
 	// Spans breaks the rounds down by phase.
 	Spans []Span
+	// Frontier reports sparse/dense engine rounds and skipped evaluations.
+	Frontier FrontierStats
 	// Stats carries structural measurements.
 	Stats Stats
 }
@@ -115,6 +123,10 @@ type RunOptions struct {
 	// Workers sets the Exchange worker count (0 keeps the default of 1;
 	// negative picks GOMAXPROCS-style automatic parallelism).
 	Workers int
+	// DisableFrontier forces every state-engine round onto the dense path,
+	// disabling frontier scheduling. Results are bit-identical either way;
+	// this exists for benchmarking and cross-checking.
+	DisableFrontier bool
 }
 
 // Deterministic runs Theorem 1's algorithm with the given parameters.
@@ -135,10 +147,11 @@ func DeterministicContext(ctx context.Context, g *Graph, p Params, opts *RunOpti
 		return nil, cerr
 	}
 	return &Result{
-		Colors: cres.Coloring.Colors,
-		Rounds: cres.Rounds,
-		Spans:  cres.Spans,
-		Stats:  cres.Stats,
+		Colors:   cres.Coloring.Colors,
+		Rounds:   cres.Rounds,
+		Spans:    cres.Spans,
+		Frontier: cres.Frontier,
+		Stats:    cres.Stats,
 	}, nil
 }
 
@@ -159,10 +172,11 @@ func RandomizedContext(ctx context.Context, g *Graph, p RandomizedParams, seed i
 	}
 	return &RandomizedResult{
 		Result: Result{
-			Colors: cres.Coloring.Colors,
-			Rounds: cres.Rounds,
-			Spans:  cres.Spans,
-			Stats:  cres.Stats,
+			Colors:   cres.Coloring.Colors,
+			Rounds:   cres.Rounds,
+			Spans:    cres.Spans,
+			Frontier: cres.Frontier,
+			Stats:    cres.Stats,
 		},
 		Rand: cres.Rand,
 	}, nil
@@ -179,6 +193,9 @@ func newNetwork(ctx context.Context, g *Graph, opts *RunOptions) *local.Network 
 		}
 		if opts.Workers != 0 {
 			net.SetWorkers(opts.Workers)
+		}
+		if opts.DisableFrontier {
+			net.SetFrontier(false)
 		}
 	}
 	return net

@@ -118,3 +118,30 @@ func TestE18Quick(t *testing.T) {
 		}
 	}
 }
+
+// E19, like E18, stays out of All() and is driven by `deltabench -frontier`.
+// Running it IS the frontier/dense cross-check — E19 returns an error on any
+// round-count divergence — so this test doubles as a result-preservation
+// gate. The occupancy assertion is deliberately loose: class sweeps dominate
+// the workloads, so a healthy frontier must skip a nontrivial share of
+// evaluations and run a nontrivial share of rounds sparse.
+func TestE19Quick(t *testing.T) {
+	tab, err := E19(Quick)
+	if err != nil {
+		t.Fatalf("E19: %v", err)
+	}
+	if tab.ID != "E19" || len(tab.Rows) == 0 {
+		t.Fatalf("E19 malformed: %+v", tab)
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row width %d != header width %d", len(row), len(tab.Header))
+		}
+		if row[5] == "0" {
+			t.Errorf("workload %s ran zero sparse rounds", row[0])
+		}
+		if row[8] == "0" {
+			t.Errorf("workload %s skipped zero evaluations", row[0])
+		}
+	}
+}

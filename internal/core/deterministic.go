@@ -43,6 +43,9 @@ type Result struct {
 	Rounds int
 	// Spans is the per-phase round breakdown.
 	Spans []local.Span
+	// Frontier aggregates the engine's activation accounting (sparse vs
+	// dense rounds, evaluations performed vs skipped).
+	Frontier local.FrontierStats
 	// Stats carries structural measurements.
 	Stats Stats
 }
@@ -123,6 +126,7 @@ func ColorDeterministic(net *local.Network, p Params) (*Result, error) {
 	}
 	res.Rounds = net.Rounds()
 	res.Spans = net.Spans()
+	res.Frontier = net.FrontierStats()
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"deltacoloring/internal/acd"
 	"deltacoloring/internal/coloring"
@@ -228,6 +229,7 @@ func ColorRandomized(net *local.Network, rp RandomizedParams, rng *rand.Rand) (*
 	}
 	res.Rounds = net.Rounds()
 	res.Spans = net.Spans()
+	res.Frontier = net.FrontierStats()
 	return res, nil
 }
 
@@ -298,12 +300,33 @@ func placeTNodes(g *graph.Graph, a *acd.ACD, cl *loophole.Classification,
 	// select a near-maximal spaced subset, which is what shatters the
 	// graph effectively.
 	state := make([]int, len(props)) // 0 live, 1 kept, 2 dead
-	conflicts := func(i int, cond func(j int) bool) bool {
-		for _, v := range [3]int{props[i].tr.Slack, props[i].tr.PairIn, props[i].tr.PairOut} {
+	// The filter queries each proposal's conflict set up to twice per
+	// iteration; collecting the radius-Spacing balls once per proposal into
+	// a conflict adjacency keeps the (profile-dominating) BFS work out of
+	// the iteration loop. Deduplication does not change any outcome: the
+	// per-query condition is a pure read of rank and state.
+	adj := make([][]int32, len(props))
+	var scratch []int32
+	for i, p := range props {
+		scratch = scratch[:0]
+		for _, v := range [3]int{p.tr.Slack, p.tr.PairIn, p.tr.PairOut} {
 			for _, w := range g.NeighborsWithin(v, rp.Spacing) {
-				if j, ok := at[w]; ok && j != i && cond(j) {
-					return true
+				if j, ok := at[w]; ok && j != i {
+					scratch = append(scratch, int32(j))
 				}
+			}
+		}
+		sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
+		for k, j := range scratch {
+			if k == 0 || scratch[k-1] != j {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	conflicts := func(i int, cond func(j int) bool) bool {
+		for _, j := range adj[i] {
+			if cond(int(j)) {
+				return true
 			}
 		}
 		return false

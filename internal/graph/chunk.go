@@ -1,0 +1,68 @@
+package graph
+
+// Edge-balanced work splitting. Chunking a vertex range [0, n) by vertex
+// count hands whole hub neighborhoods to single workers on skewed-degree
+// graphs; these helpers instead cut chunks of approximately equal
+// vertex-plus-edge weight, using the CSR offsets array as an implicit prefix
+// sum (weight(v) = degree(v) + 1, so cum(v) = offsets[v] + v is monotone and
+// needs no extra storage).
+
+// AppendChunkBounds appends parts+1 monotone vertex boundaries to dst and
+// returns the extended slice: chunk i is [bounds[i], bounds[i+1]), and every
+// chunk carries roughly total/parts of the graph's vertex+edge weight. The
+// first boundary is always 0 and the last always N(), so degree skew moves
+// interior boundaries only. parts must be >= 1.
+func (g *Graph) AppendChunkBounds(dst []int32, parts int) []int32 {
+	n := g.N()
+	total := int64(g.offsets[n]) + int64(n)
+	dst = append(dst, 0)
+	for k := 1; k < parts; k++ {
+		target := total * int64(k) / int64(parts)
+		// Smallest v with offsets[v]+v >= target.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if int64(g.offsets[mid])+int64(mid) < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		// Boundaries must stay monotone even when many parts land in one
+		// huge-degree vertex's weight range.
+		if prev := int(dst[len(dst)-1]); lo < prev {
+			lo = prev
+		}
+		dst = append(dst, int32(lo))
+	}
+	return append(dst, int32(n))
+}
+
+// SplitPrefix appends parts+1 monotone item boundaries to dst for a
+// prefix-weight array cum (cum[i] = total weight of items [0, i), so
+// len(cum) = items+1 and cum is non-decreasing with cum[0] = 0). Chunk i is
+// the item range [bounds[i], bounds[i+1]) and carries roughly
+// cum[items]/parts weight. The LOCAL engine uses it to cut a sparse frontier
+// into degree-balanced chunks. parts must be >= 1.
+func SplitPrefix(dst []int32, cum []int64, parts int) []int32 {
+	items := len(cum) - 1
+	total := cum[items]
+	dst = append(dst, 0)
+	for k := 1; k < parts; k++ {
+		target := total * int64(k) / int64(parts)
+		lo, hi := 0, items
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if cum[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if prev := int(dst[len(dst)-1]); lo < prev {
+			lo = prev
+		}
+		dst = append(dst, int32(lo))
+	}
+	return append(dst, int32(items))
+}

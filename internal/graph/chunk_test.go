@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// boundsInvariants checks shape: parts+1 entries, monotone, spanning [0, n].
+func boundsInvariants(t *testing.T, bounds []int32, parts, n int) {
+	t.Helper()
+	if len(bounds) != parts+1 {
+		t.Fatalf("got %d bounds for %d parts", len(bounds), parts)
+	}
+	if bounds[0] != 0 || int(bounds[parts]) != n {
+		t.Fatalf("bounds %v do not span [0, %d]", bounds, n)
+	}
+	for i := 0; i < parts; i++ {
+		if bounds[i] > bounds[i+1] {
+			t.Fatalf("bounds not monotone: %v", bounds)
+		}
+	}
+}
+
+func TestAppendChunkBoundsBalances(t *testing.T) {
+	// A star plus a path: one hub of degree n-1 among degree-<=2 vertices.
+	n := 1000
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+		if v+1 < n {
+			b.AddEdge(v, v+1)
+		}
+	}
+	g := b.MustBuild()
+	for _, parts := range []int{1, 2, 3, 7, 16} {
+		bounds := g.AppendChunkBounds(nil, parts)
+		boundsInvariants(t, bounds, parts, n)
+		total := int64(0)
+		for v := 0; v < n; v++ {
+			total += int64(g.Degree(v)) + 1
+		}
+		// No chunk may exceed its fair share by more than the largest single
+		// vertex weight (a vertex is indivisible).
+		maxWeight := int64(g.MaxDegree() + 1)
+		fair := total/int64(parts) + maxWeight
+		for i := 0; i < parts; i++ {
+			w := int64(0)
+			for v := bounds[i]; v < bounds[i+1]; v++ {
+				w += int64(g.Degree(int(v))) + 1
+			}
+			if w > fair {
+				t.Errorf("parts=%d chunk %d weight %d exceeds fair share %d", parts, i, w, fair)
+			}
+		}
+	}
+}
+
+func TestAppendChunkBoundsVertexChunkingSkews(t *testing.T) {
+	// Demonstrate the fix: with vertex-count chunking into 2, the hub-heavy
+	// half carries almost all edges; edge-balanced bounds cut far earlier.
+	n := 512
+	b := NewBuilder(n)
+	for v := 1; v < n/4; v++ { // hubs live in the first quarter
+		for w := v + 1; w < n; w += 7 {
+			b.AddEdge(v, w)
+		}
+	}
+	g := b.MustBuild()
+	bounds := g.AppendChunkBounds(nil, 2)
+	boundsInvariants(t, bounds, 2, n)
+	mid := int(bounds[1])
+	var firstHalf int64
+	for v := 0; v < mid; v++ {
+		firstHalf += int64(g.Degree(v)) + 1
+	}
+	var total int64
+	for v := 0; v < n; v++ {
+		total += int64(g.Degree(v)) + 1
+	}
+	if ratio := float64(firstHalf) / float64(total); ratio < 0.35 || ratio > 0.65 {
+		t.Errorf("edge-balanced split left %.2f of the weight in chunk 0", ratio)
+	}
+	if mid >= n/2 {
+		t.Errorf("hub-skewed graph should cut before the vertex midpoint, got %d of %d", mid, n)
+	}
+}
+
+func TestAppendChunkBoundsEmptyAndTiny(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	bounds := g.AppendChunkBounds(nil, 4)
+	boundsInvariants(t, bounds, 4, 0)
+
+	g1 := NewBuilder(1).MustBuild()
+	bounds = g1.AppendChunkBounds(nil, 8)
+	boundsInvariants(t, bounds, 8, 1)
+}
+
+func TestSplitPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		items := rng.Intn(200)
+		cum := make([]int64, items+1)
+		for i := 1; i <= items; i++ {
+			cum[i] = cum[i-1] + int64(rng.Intn(50))
+		}
+		parts := 1 + rng.Intn(10)
+		bounds := SplitPrefix(nil, cum, parts)
+		if len(bounds) != parts+1 {
+			t.Fatalf("got %d bounds for %d parts", len(bounds), parts)
+		}
+		if bounds[0] != 0 || int(bounds[parts]) != items {
+			t.Fatalf("bounds %v do not span [0, %d]", bounds, items)
+		}
+		var maxItem int64
+		for i := 1; i <= items; i++ {
+			if w := cum[i] - cum[i-1]; w > maxItem {
+				maxItem = w
+			}
+		}
+		fair := cum[items]/int64(parts) + maxItem
+		for i := 0; i < parts; i++ {
+			if bounds[i] > bounds[i+1] {
+				t.Fatalf("bounds not monotone: %v", bounds)
+			}
+			if w := cum[bounds[i+1]] - cum[bounds[i]]; w > fair {
+				t.Errorf("chunk %d weight %d exceeds fair share %d (bounds %v)", i, w, fair, bounds)
+			}
+		}
+	}
+}
+
+// TestNeighborsWithinMatchesReference pins the pooled BFS rewrite against a
+// straightforward map-based reference on random graphs.
+func TestNeighborsWithinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(60)
+		b := NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.08 {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+		g := b.MustBuild()
+		for v := 0; v < n; v++ {
+			for r := 0; r <= 4; r++ {
+				got := g.NeighborsWithin(v, r)
+				want := neighborsWithinRef(g, v, r)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d v=%d r=%d: got %v want %v", n, v, r, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d v=%d r=%d: got %v want %v", n, v, r, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func neighborsWithinRef(g *Graph, v, r int) []int {
+	if r <= 0 {
+		return nil
+	}
+	seen := map[int]bool{v: true}
+	frontier := []int{v}
+	var out []int
+	for d := 0; d < r; d++ {
+		var next []int
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(u) {
+				if !seen[int(w)] {
+					seen[int(w)] = true
+					next = append(next, int(w))
+					out = append(out, int(w))
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -21,6 +21,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // MaxN is the largest supported vertex count (vertex indices are stored as
@@ -169,31 +170,52 @@ func (g *Graph) IsClique(vs []int) bool {
 	return true
 }
 
+// ballScratch is the reusable visited array and BFS queue behind
+// NeighborsWithin. Between uses every seen entry is false; each call marks
+// only the vertices it discovers and sparsely resets them from the queue, so
+// a pooled scratch costs O(ball size) per call once it has grown to the
+// graph size (the map-based version this replaces dominated whole-pipeline
+// profiles through hashing alone).
+type ballScratch struct {
+	seen  []bool
+	queue []int32
+}
+
+var ballPool = sync.Pool{New: func() any { return new(ballScratch) }}
+
 // NeighborsWithin returns all vertices at distance in [1, r] from v, sorted.
 // It corresponds to collecting the radius-r ball in the LOCAL model.
 func (g *Graph) NeighborsWithin(v, r int) []int {
 	if r <= 0 {
 		return nil
 	}
-	seen := map[int]bool{v: true}
-	frontier := []int{v}
-	var out []int
-	for d := 0; d < r; d++ {
-		var next []int
-		for _, u := range frontier {
-			for _, w := range g.Neighbors(u) {
-				if !seen[int(w)] {
-					seen[int(w)] = true
-					next = append(next, int(w))
-					out = append(out, int(w))
+	sc := ballPool.Get().(*ballScratch)
+	if len(sc.seen) < g.N() {
+		sc.seen = make([]bool, g.N())
+	}
+	seen := sc.seen
+	seen[v] = true
+	queue := append(sc.queue[:0], int32(v))
+	head := 0
+	for d := 0; d < r && head < len(queue); d++ {
+		tail := len(queue)
+		for ; head < tail; head++ {
+			for _, w := range g.Neighbors(int(queue[head])) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
 				}
 			}
 		}
-		frontier = next
-		if len(frontier) == 0 {
-			break
-		}
 	}
+	out := make([]int, 0, len(queue)-1)
+	for _, w := range queue[1:] {
+		out = append(out, int(w))
+		seen[w] = false
+	}
+	seen[v] = false
+	sc.queue = queue
+	ballPool.Put(sc)
 	sort.Ints(out)
 	return out
 }

@@ -217,27 +217,43 @@ func Reduce(net *local.Network, cur []int, m, target int) ([]int, error) {
 		if m-1 < firstTop {
 			firstTop = m - 1
 		}
-		for top := firstTop; top >= target; top-- {
-			out = run.Step(func(v int, self int, nbrs local.Nbrs[int]) int {
-				if self%blockSize != top {
-					return self
-				}
-				block := self / blockSize
-				used := make([]bool, target)
-				for i := 0; i < nbrs.Len(); i++ {
-					nc := nbrs.State(i)
-					if nc/blockSize == block && nc%blockSize < target {
-						used[nc%blockSize] = true
-					}
-				}
-				for slot, u := range used {
-					if !u {
-						return block*blockSize + slot
-					}
-				}
-				panic("linial: no free slot during reduction (degree invariant violated)")
-			})
+		// One halving retires tops firstTop..target as a frontier-scheduled
+		// sweep. Seeding by the in-block slot at the halving's start is
+		// exact: a vertex recolors only in its own slot's round and lands
+		// strictly below target, so it can never match a later top; every
+		// other state change is a reaction to a neighbor recoloring, which
+		// the frontier tracks.
+		states := run.States()
+		buckets := make([][]int32, blockSize)
+		for v, c := range states {
+			if slot := c % blockSize; slot >= target {
+				buckets[slot] = append(buckets[slot], int32(v))
+			}
 		}
+		out = run.Sweep(firstTop-target+1, func(r int, mark func(int)) {
+			for _, v := range buckets[firstTop-r] {
+				mark(int(v))
+			}
+		}, func(r, v int, self int, nbrs local.Nbrs[int]) int {
+			top := firstTop - r
+			if self%blockSize != top {
+				return self
+			}
+			block := self / blockSize
+			used := make([]bool, target)
+			for i := 0; i < nbrs.Len(); i++ {
+				nc := nbrs.State(i)
+				if nc/blockSize == block && nc%blockSize < target {
+					used[nc%blockSize] = true
+				}
+			}
+			for slot, u := range used {
+				if !u {
+					return block*blockSize + slot
+				}
+			}
+			panic("linial: no free slot during reduction (degree invariant violated)")
+		})
 		// Compact: every color now has slot < target within its block.
 		numBlocks := (m + blockSize - 1) / blockSize
 		for v, c := range out {

@@ -73,26 +73,34 @@ func Solve(net *local.Network, inst Instance, out *coloring.Partial) error {
 	for i := range st {
 		st[i] = state{slot: slots[i], color: coloring.None}
 	}
-	run := local.NewRunner(snet, st)
-	for c := 0; c < k; c++ {
-		st = run.Step(func(i int, self state, nbrs local.Nbrs[state]) state {
-			if self.color != coloring.None || self.slot != c {
-				return self
-			}
-			p := inst.Lists[sub.ToParent[i]].Clone()
-			for j := 0; j < nbrs.Len(); j++ {
-				if nc := nbrs.State(j).color; nc != coloring.None {
-					p.Remove(nc)
-				}
-			}
-			col := p.Min()
-			if col < 0 {
-				panic(fmt.Sprintf("listcolor: empty palette at vertex %d despite deg+1 precondition", sub.ToParent[i]))
-			}
-			self.color = col
-			return self
-		})
+	// Frontier-scheduled slot sweep: a vertex acts only in its own slot's
+	// round (the seed); all other rounds return self unchanged.
+	buckets := make([][]int32, k)
+	for i, s := range slots {
+		buckets[s] = append(buckets[s], int32(i))
 	}
+	run := local.NewRunner(snet, st)
+	st = run.Sweep(k, func(c int, mark func(int)) {
+		for _, i := range buckets[c] {
+			mark(int(i))
+		}
+	}, func(c, i int, self state, nbrs local.Nbrs[state]) state {
+		if self.color != coloring.None || self.slot != c {
+			return self
+		}
+		p := inst.Lists[sub.ToParent[i]].Clone()
+		for j := 0; j < nbrs.Len(); j++ {
+			if nc := nbrs.State(j).color; nc != coloring.None {
+				p.Remove(nc)
+			}
+		}
+		col := p.Min()
+		if col < 0 {
+			panic(fmt.Sprintf("listcolor: empty palette at vertex %d despite deg+1 precondition", sub.ToParent[i]))
+		}
+		self.color = col
+		return self
+	})
 	for i, s := range st {
 		if s.color == coloring.None {
 			return fmt.Errorf("listcolor: vertex %d left uncolored", sub.ToParent[i])

@@ -54,6 +54,15 @@ type Network struct {
 	dilation int
 	workers  int
 	faults   FaultHook
+	// noFrontier forces Runner.Run/Sweep onto the dense engine; see
+	// SetFrontier. Inherited by Virtual children created afterwards.
+	noFrontier bool
+	// bounds caches the edge-balanced chunk boundaries for the last
+	// (total, parts) pair handed to run; recomputed lazily when SetWorkers
+	// changes the chunk count. Only the algorithm goroutine touches it.
+	bounds  []int32
+	boundsW int
+	boundsN int
 }
 
 type counter struct {
@@ -65,6 +74,7 @@ type counter struct {
 	interrupt func() error
 	spanHook  func(Span)
 	pool      *workerPool
+	frontier  FrontierStats
 }
 
 // workerPool is a persistent chunked executor shared by a network and all
@@ -77,8 +87,9 @@ type workerPool struct {
 }
 
 type poolJob struct {
+	ci     int // chunk index, for per-chunk result regions
 	lo, hi int
-	run    func(lo, hi int)
+	run    func(ci, lo, hi int)
 	wg     *sync.WaitGroup
 }
 
@@ -89,7 +100,7 @@ func newWorkerPool(size int) *workerPool {
 		// can fire once all networks sharing the pool become unreachable.
 		go func(jobs <-chan poolJob) {
 			for j := range jobs {
-				j.run(j.lo, j.hi)
+				j.run(j.ci, j.lo, j.hi)
 				j.wg.Done()
 			}
 		}(p.jobs)
@@ -120,25 +131,50 @@ func (c *counter) getPool() *workerPool {
 const parallelThreshold = 256
 
 // run executes fn over [0, total) — sequentially when parallelism is off or
-// the graph is small, otherwise as one chunk per configured worker on the
-// persistent pool. fn must only write to disjoint per-index data, which is
-// what makes results independent of the worker count.
-func (n *Network) run(total int, fn func(lo, hi int)) {
+// the graph is small, otherwise as one edge-balanced chunk per configured
+// worker on the persistent pool. fn must only write to disjoint per-index
+// data, which is what makes results independent of the worker count.
+func (n *Network) run(total int, fn func(ci, lo, hi int)) {
 	w := n.workers
 	if w <= 1 || total < parallelThreshold {
-		fn(0, total)
+		fn(0, 0, total)
 		return
 	}
+	n.runBounds(n.chunkBounds(total, w), fn)
+}
+
+// chunkBounds returns (and caches) parts+1 chunk boundaries over [0, total).
+// Work shaped like the graph — one unit per vertex plus one per incident
+// edge, which is what every exchange round costs — is cut on the CSR offset
+// prefix sum so hub-heavy neighborhoods spread across workers instead of
+// piling into one chunk; any other total falls back to uniform ranges.
+func (n *Network) chunkBounds(total, parts int) []int32 {
+	if n.boundsW != parts || n.boundsN != total || n.bounds == nil {
+		n.bounds = n.bounds[:0]
+		if total == n.g.N() {
+			n.bounds = n.g.AppendChunkBounds(n.bounds, parts)
+		} else {
+			for k := 0; k <= parts; k++ {
+				n.bounds = append(n.bounds, int32(total*k/parts))
+			}
+		}
+		n.boundsW, n.boundsN = parts, total
+	}
+	return n.bounds
+}
+
+// runBounds executes fn once per non-empty chunk [bounds[i], bounds[i+1])
+// on the persistent pool and waits for all chunks to finish.
+func (n *Network) runBounds(bounds []int32, fn func(ci, lo, hi int)) {
 	pool := n.counter.getPool()
-	chunk := (total + w - 1) / w
 	var wg sync.WaitGroup
-	for lo := 0; lo < total; lo += chunk {
-		hi := lo + chunk
-		if hi > total {
-			hi = total
+	for ci := 0; ci+1 < len(bounds); ci++ {
+		lo, hi := int(bounds[ci]), int(bounds[ci+1])
+		if lo == hi {
+			continue
 		}
 		wg.Add(1)
-		pool.jobs <- poolJob{lo: lo, hi: hi, run: fn, wg: &wg}
+		pool.jobs <- poolJob{ci: ci, lo: lo, hi: hi, run: fn, wg: &wg}
 	}
 	wg.Wait()
 }
@@ -158,9 +194,21 @@ func (n *Network) Close() {
 }
 
 // Span records the rounds consumed by one named phase, for reporting.
+//
+// Beyond the round total, a span carries frontier-scheduling observability:
+// EngineRounds counts the state-engine rounds (Exchange/Runner) inside the
+// phase — Charge-only accounting contributes none — SparseRounds counts how
+// many of those ran on the sparse frontier path, and ActiveVertices /
+// SkippedVertices count the per-vertex state evaluations performed / avoided.
+// The extra fields do not affect Rounds and are zero when no engine round
+// runs during the phase.
 type Span struct {
-	Name   string
-	Rounds int
+	Name            string
+	Rounds          int
+	EngineRounds    int
+	SparseRounds    int
+	ActiveVertices  int64
+	SkippedVertices int64
 }
 
 // New creates a network over g with dilation 1 and sequential execution.
@@ -250,7 +298,8 @@ func (n *Network) Virtual(vg *graph.Graph, dilation int) *Network {
 	if dilation < 1 {
 		panic(fmt.Sprintf("local: dilation must be >= 1, got %d", dilation))
 	}
-	return &Network{g: vg, counter: n.counter, dilation: n.dilation * dilation, workers: n.workers}
+	return &Network{g: vg, counter: n.counter, dilation: n.dilation * dilation,
+		workers: n.workers, noFrontier: n.noFrontier}
 }
 
 // SetWorkers sets the number of goroutines used by Exchange (1 = fully
@@ -350,9 +399,10 @@ func exchangeInto[S any](n *Network, cur, next []S,
 	n.counter.mu.Lock()
 	check := n.counter.interrupt
 	n.counter.mu.Unlock()
+	n.counter.recordEngineRound(false, int64(len(cur)), 0)
 	var tripped atomic.Pointer[Interrupt]
 	var notDone atomic.Int64
-	n.run(len(cur), func(lo, hi int) {
+	n.run(len(cur), func(_, lo, hi int) {
 		pending := 0
 		var scratch []int32
 		if rf != nil {
@@ -438,17 +488,23 @@ func Exchange[S any](n *Network, cur []S, f func(v int, self S, nbrs Nbrs[S]) S)
 // must be pure — it may read any cur state but write nothing shared — which
 // is also what makes results bit-identical for any worker count.
 //
+// States are constrained to comparable because Run and Sweep detect per-round
+// change via next[v] != cur[v] to drive frontier scheduling (see frontier.go);
+// the comparison is also what lets the sparse path skip quiescent vertices
+// without altering results.
+//
 // The Runner takes ownership of the initial slice passed to NewRunner; the
 // caller must not retain it. States returns the live buffer after any
 // number of Step/Run calls.
-type Runner[S any] struct {
+type Runner[S comparable] struct {
 	net  *Network
 	cur  []S
 	next []S
+	fr   *frontier
 }
 
 // NewRunner creates a runner over init (one entry per vertex of n's graph).
-func NewRunner[S any](n *Network, init []S) *Runner[S] {
+func NewRunner[S comparable](n *Network, init []S) *Runner[S] {
 	if len(init) != n.g.N() {
 		panic(fmt.Sprintf("local: state slice has %d entries, graph has %d vertices", len(init), n.g.N()))
 	}
@@ -472,9 +528,27 @@ func (r *Runner[S]) Step(f func(v int, self S, nbrs Nbrs[S]) S) []S {
 // done must be pure, like f; it is evaluated inside the exchange pass so a
 // round costs no separate all-vertices scan. A remaining not-done count is
 // carried across rounds, so quiescence detection is O(1) per round.
+//
+// Unless SetFrontier(false) forced the dense engine, Run schedules rounds on
+// an activation frontier (see frontier.go): after the first round only
+// vertices whose closed neighborhood changed are re-evaluated. Because f and
+// done are pure, rounds, states, and span totals are bit-identical to the
+// dense engine.
 func (r *Runner[S]) Run(maxRounds int,
 	f func(v int, self S, nbrs Nbrs[S]) S, done func(v int, s S) bool) ([]S, int, error) {
 	notDone := 0
+	if !r.net.noFrontier {
+		fr := r.ensureFrontier()
+		fr.reset(true)
+		for v, s := range r.cur {
+			d := done(v, s)
+			fr.doneBits[v] = d
+			if !d {
+				notDone++
+			}
+		}
+		return r.runRounds(maxRounds, notDone, f, done)
+	}
 	for v, s := range r.cur {
 		if !done(v, s) {
 			notDone++
@@ -487,6 +561,25 @@ func (r *Runner[S]) Run(maxRounds int,
 		notDone = exchangeInto(r.net, r.cur, r.next, f, done)
 		r.cur, r.next = r.next, r.cur
 	}
+	return r.finish(maxRounds, notDone, done)
+}
+
+// runRounds is Run's frontier-scheduled loop; notDone is maintained
+// incrementally by trackedRound through the frontier's done bitmap.
+func (r *Runner[S]) runRounds(maxRounds, notDone int,
+	f func(v int, self S, nbrs Nbrs[S]) S, done func(v int, s S) bool) ([]S, int, error) {
+	for round := 0; round < maxRounds; round++ {
+		if notDone == 0 {
+			return r.cur, round, nil
+		}
+		notDone = r.trackedRound(f, done, notDone)
+		r.cur, r.next = r.next, r.cur
+	}
+	return r.finish(maxRounds, notDone, done)
+}
+
+// finish is Run's shared budget-exhausted epilogue.
+func (r *Runner[S]) finish(maxRounds, notDone int, done func(v int, s S) bool) ([]S, int, error) {
 	if notDone == 0 {
 		return r.cur, maxRounds, nil
 	}
@@ -503,7 +596,7 @@ func (r *Runner[S]) Run(maxRounds int,
 // rounds executed. It returns an error if the round budget runs out, which
 // algorithm packages treat as a logic bug. Iterate double-buffers through a
 // Runner, so it owns cur from the call on; the caller must not retain it.
-func Iterate[S any](n *Network, cur []S, maxRounds int,
+func Iterate[S comparable](n *Network, cur []S, maxRounds int,
 	f func(v int, self S, nbrs Nbrs[S]) S, done func(v int, s S) bool) ([]S, int, error) {
 	return NewRunner(n, cur).Run(maxRounds, f, done)
 }

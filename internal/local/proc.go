@@ -82,7 +82,7 @@ func RunProcs(net *Network, procs []Proc, maxRounds int) error {
 		// each vertex writes only its own pending/done slots, so no lock is
 		// needed and results are worker-count independent.
 		var running atomic.Int64
-		net.run(g.N(), func(lo, hi int) {
+		net.run(g.N(), func(_, lo, hi int) {
 			live := 0
 			for v := lo; v < hi; v++ {
 				if done[v] {

@@ -55,24 +55,35 @@ func MaximalOn(net *local.Network, edges []graph.Edge) ([]graph.Edge, error) {
 	for i := range st {
 		st[i] = state{color: colors[i]}
 	}
+	// Sweep the color classes frontier-scheduled: a vertex's output changes
+	// for non-neighborhood reasons only in its own class's round (the seed),
+	// and otherwise only when an incident edge joined (a neighbor state
+	// change the frontier tracks).
+	classes := lg.MaxDegree() + 1
+	buckets := make([][]int32, classes)
+	for i, c := range colors {
+		buckets[c] = append(buckets[c], int32(i))
+	}
 	run := local.NewRunner(lnet, st)
-	for c := 0; c <= lg.MaxDegree(); c++ {
-		st = run.Step(func(v int, self state, nbrs local.Nbrs[state]) state {
-			if self.in || self.blocked {
+	st = run.Sweep(classes, func(c int, mark func(int)) {
+		for _, v := range buckets[c] {
+			mark(int(v))
+		}
+	}, func(c, v int, self state, nbrs local.Nbrs[state]) state {
+		if self.in || self.blocked {
+			return self
+		}
+		for i := 0; i < nbrs.Len(); i++ {
+			if nbrs.State(i).in {
+				self.blocked = true
 				return self
 			}
-			for i := 0; i < nbrs.Len(); i++ {
-				if nbrs.State(i).in {
-					self.blocked = true
-					return self
-				}
-			}
-			if self.color == c {
-				self.in = true
-			}
-			return self
-		})
-	}
+		}
+		if self.color == c {
+			self.in = true
+		}
+		return self
+	})
 	var out []graph.Edge
 	for i := range st {
 		if st[i].in {

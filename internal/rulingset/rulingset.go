@@ -45,24 +45,33 @@ func MIS(net *local.Network) ([]bool, error) {
 	for v := range st {
 		st[v] = misState{color: colors[v]}
 	}
+	// Frontier-scheduled class sweep: only round c's class can change state
+	// for non-neighborhood reasons (the seed); everything else changes only
+	// in reaction to a neighbor joining, which the frontier tracks.
+	buckets := make([][]int32, k)
+	for v, c := range colors {
+		buckets[c] = append(buckets[c], int32(v))
+	}
 	run := local.NewRunner(net, st)
-	for c := 0; c < k; c++ {
-		st = run.Step(func(v int, self misState, nbrs local.Nbrs[misState]) misState {
-			if self.in || self.blocked {
+	st = run.Sweep(k, func(c int, mark func(int)) {
+		for _, v := range buckets[c] {
+			mark(int(v))
+		}
+	}, func(c, v int, self misState, nbrs local.Nbrs[misState]) misState {
+		if self.in || self.blocked {
+			return self
+		}
+		for i := 0; i < nbrs.Len(); i++ {
+			if nbrs.State(i).in {
+				self.blocked = true
 				return self
 			}
-			for i := 0; i < nbrs.Len(); i++ {
-				if nbrs.State(i).in {
-					self.blocked = true
-					return self
-				}
-			}
-			if self.color == c {
-				self.in = true
-			}
-			return self
-		})
-	}
+		}
+		if self.color == c {
+			self.in = true
+		}
+		return self
+	})
 	out := make([]bool, g.N())
 	for v := range st {
 		out[v] = st[v].in

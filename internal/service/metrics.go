@@ -32,6 +32,11 @@ type metrics struct {
 
 	phaseRounds map[string]uint64
 
+	engineRounds    uint64
+	sparseRounds    uint64
+	activeVertices  uint64
+	skippedVertices uint64
+
 	buckets      []float64 // upper bounds in seconds, ascending; +Inf implied
 	bucketCounts []uint64  // non-cumulative per-bucket counts, len = len(buckets)+1
 	durSum       float64
@@ -75,11 +80,19 @@ func (m *metrics) jobCompleted(d time.Duration) {
 // addSpan accumulates one closed phase span; it is the local.Network span
 // hook installed for every run.
 func (m *metrics) addSpan(sp local.Span) {
-	if sp.Rounds <= 0 {
+	if sp.Rounds <= 0 && sp.EngineRounds <= 0 {
 		return
 	}
 	m.mu.Lock()
-	m.phaseRounds[sp.Name] += uint64(sp.Rounds)
+	if sp.Rounds > 0 {
+		m.phaseRounds[sp.Name] += uint64(sp.Rounds)
+	}
+	if sp.EngineRounds > 0 {
+		m.engineRounds += uint64(sp.EngineRounds)
+		m.sparseRounds += uint64(sp.SparseRounds)
+		m.activeVertices += uint64(sp.ActiveVertices)
+		m.skippedVertices += uint64(sp.SkippedVertices)
+	}
 	m.mu.Unlock()
 }
 
@@ -110,6 +123,10 @@ func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState int) {
 	counter("deltaserved_idempotent_joins_total", "Retried POSTs joined to an existing job via idempotency key.", m.idemJoins)
 	counter("deltaserved_cache_hits_total", "Color requests answered from the result cache.", m.cacheHits)
 	counter("deltaserved_cache_misses_total", "Color requests that missed the result cache.", m.cacheMisses)
+	counter("deltaserved_engine_rounds_total", "State-engine rounds executed across all jobs (dense + sparse).", m.engineRounds)
+	counter("deltaserved_engine_sparse_rounds_total", "State-engine rounds that ran on the frontier-scheduled sparse path.", m.sparseRounds)
+	counter("deltaserved_engine_active_vertices_total", "Vertex evaluations performed by the state engine.", m.activeVertices)
+	counter("deltaserved_engine_skipped_vertices_total", "Vertex evaluations skipped by frontier scheduling.", m.skippedVertices)
 
 	fmt.Fprintf(w, "# HELP deltaserved_queue_depth Jobs currently waiting in the FIFO queue.\n# TYPE deltaserved_queue_depth gauge\ndeltaserved_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "# HELP deltaserved_workers Size of the worker pool.\n# TYPE deltaserved_workers gauge\ndeltaserved_workers %d\n", workers)
