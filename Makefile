@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check race chaos serve bench bench-smoke report report-full report-faults report-frontier fuzz clean
+.PHONY: all build vet test test-short check race chaos conformance coverage-invariant serve bench bench-smoke report report-full report-faults report-frontier fuzz clean
 
 # `check` is the default CI path: vet + the full test suite under -race.
 all: build check
@@ -32,6 +32,23 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestPanic|TestQuarantine|TestWatchdog|TestBreaker|TestServerSideRetry|TestIdempotency|TestClientColorRetry|TestHardening|TestServiceChaos' . ./internal/service/
 	$(GO) test -race -count=1 ./internal/faults/ ./internal/repair/
+
+# The deltacheck conformance matrix (EXPERIMENTS.md E20, DESIGN.md §10):
+# every generator family through every pipeline with all phase checkers,
+# differential oracles, metamorphic relations, and per-phase corruption
+# controls. -quick drops the Δ=63 rejection row; `go run ./cmd/deltacheck`
+# runs the full matrix.
+conformance:
+	$(GO) run -race ./cmd/deltacheck -quick
+
+# The harness must hold itself to the same standard: fail if the
+# conformance package's own statement coverage drops below 85%.
+coverage-invariant:
+	$(GO) test -count=1 -coverprofile=cover-invariant.out ./internal/invariant/
+	@$(GO) tool cover -func=cover-invariant.out | awk '/^total:/ { \
+		cov = $$3 + 0; printf "internal/invariant coverage: %.1f%% (gate 85%%)\n", cov; \
+		if (cov < 85) { print "coverage gate FAILED"; exit 1 } }'
+	@rm -f cover-invariant.out
 
 serve:
 	$(GO) run ./cmd/deltaserved
@@ -70,6 +87,7 @@ report-frontier:
 fuzz:
 	$(GO) test -fuzz FuzzNewGraph -fuzztime 30s .
 	$(GO) test -fuzz FuzzVerify -fuzztime 30s .
+	$(GO) test -fuzz FuzzVerifiers -fuzztime 30s .
 	$(GO) test -fuzz FuzzGraphioRead -fuzztime 30s .
 	$(GO) test -fuzz FuzzBuilder -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzRepair -fuzztime 30s ./internal/repair/

@@ -1,0 +1,93 @@
+// Command deltacheck runs the pipeline-wide invariant conformance harness
+// (internal/invariant) over the deterministic generator matrix: every
+// pipeline phase is validated mid-run through its registered checker, the
+// results are cross-checked against sequential reference oracles, the
+// metamorphic determinism contracts (worker counts, dense vs frontier
+// engine, ID permutation, fault-plan replay) are asserted, and a per-phase
+// corruption control proves the harness fails loudly.
+//
+// Usage:
+//
+//	deltacheck [-quick] [-run substr] [-workers 1,4] [-no-negative] [-v]
+//
+// The exit status is non-zero when any suite fails. -quick drops the
+// Δ = 63 rounding-edge instance (n = 7938), which dominates the runtime
+// under -race; -run filters workloads by name substring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"deltacoloring/internal/invariant"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "skip the Δ=63 rounding-edge workload")
+	run := flag.String("run", "", "only run workloads whose name contains this substring")
+	workersFlag := flag.String("workers", "", "comma-separated worker counts for the metamorphic sweep (default 1,4,NumCPU)")
+	noNegative := flag.Bool("no-negative", false, "skip the per-phase corruption controls")
+	verbose := flag.Bool("v", false, "log per-workload progress")
+	flag.Parse()
+
+	opt := invariant.Options{SkipNegative: *noNegative}
+	if *verbose {
+		opt.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *workersFlag != "" {
+		for _, s := range strings.Split(*workersFlag, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "deltacheck: bad -workers entry %q\n", s)
+				os.Exit(2)
+			}
+			opt.Workers = append(opt.Workers, w)
+		}
+	}
+
+	matrix := invariant.Matrix()
+	if *quick {
+		matrix = invariant.QuickMatrix()
+	}
+	if *run != "" {
+		var filtered []invariant.Workload
+		for _, w := range matrix {
+			if strings.Contains(w.Name, *run) {
+				filtered = append(filtered, w)
+			}
+		}
+		matrix = filtered
+	}
+	if len(matrix) == 0 {
+		fmt.Fprintln(os.Stderr, "deltacheck: no workloads selected")
+		os.Exit(2)
+	}
+
+	results := invariant.RunMatrix(matrix, opt)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tsuite\tstatus\tdetail")
+	failures := 0
+	for _, r := range results {
+		for _, s := range r.Suites {
+			status, detail := "PASS", s.Detail
+			if s.Err != nil {
+				status, detail = "FAIL", s.Err.Error()
+				failures++
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n", r.Name, s.Suite, status, detail)
+		}
+	}
+	tw.Flush()
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "deltacheck: %d suite(s) failed\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("deltacheck: all suites passed")
+}

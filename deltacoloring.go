@@ -33,6 +33,7 @@ import (
 	"deltacoloring/internal/coloring"
 	"deltacoloring/internal/core"
 	"deltacoloring/internal/graph"
+	"deltacoloring/internal/invariant"
 	"deltacoloring/internal/local"
 	"deltacoloring/internal/repair"
 )
@@ -211,6 +212,100 @@ func recoverInterrupt(err *error) {
 		}
 		*err = ip.Err
 	}
+}
+
+// CheckReport summarizes the invariant validation of a checked run: which
+// pipeline phases published intermediate state and how many conformance
+// checkers fired on it. See DESIGN.md §10 for the checker catalogue.
+type CheckReport struct {
+	// Checks is the total number of checker firings across the run.
+	Checks int
+	// Phases lists the distinct phase tags validated, sorted.
+	Phases []string
+}
+
+// RunChecked is Deterministic with the conformance harness attached: every
+// pipeline phase checkpoints its intermediate state (ACD, classification,
+// matching, hypergraph grab, split, triads, partial colorings) and the
+// registered invariant checkers validate it mid-run. The final coloring is
+// additionally cross-checked against the independent sequential oracle. A
+// violation aborts the run with an *invariant.Violation naming the phase and
+// the invariant. Checked runs are bit-identical to unchecked ones — the
+// harness only observes.
+func RunChecked(g *Graph, p Params) (*Result, *CheckReport, error) {
+	return RunCheckedContext(context.Background(), g, p, nil)
+}
+
+// RunCheckedContext is RunChecked with cancellation and run options; see
+// DeterministicContext for the contract.
+func RunCheckedContext(ctx context.Context, g *Graph, p Params, opts *RunOptions) (*Result, *CheckReport, error) {
+	h := invariant.NewHarness(g)
+	res, err := runWithHarness(ctx, g, opts, h, func(net *local.Network) (*core.Result, error) {
+		return core.ColorDeterministic(net, p)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return checkReport(g, h, res)
+}
+
+// RunCheckedRandomized is Randomized with the conformance harness attached;
+// see RunChecked for the contract.
+func RunCheckedRandomized(g *Graph, p RandomizedParams, seed int64) (*RandomizedResult, *CheckReport, error) {
+	return RunCheckedRandomizedContext(context.Background(), g, p, seed, nil)
+}
+
+// RunCheckedRandomizedContext is RunCheckedRandomized with cancellation and
+// run options; see DeterministicContext for the contract.
+func RunCheckedRandomizedContext(ctx context.Context, g *Graph, p RandomizedParams, seed int64, opts *RunOptions) (*RandomizedResult, *CheckReport, error) {
+	h := invariant.NewHarness(g)
+	var rstats RandStats
+	res, err := runWithHarness(ctx, g, opts, h, func(net *local.Network) (*core.Result, error) {
+		rres, rerr := core.ColorRandomized(net, p, rand.New(rand.NewSource(seed)))
+		if rerr != nil {
+			return nil, rerr
+		}
+		rstats = rres.Rand
+		return &rres.Result, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, rep, err := checkReport(g, h, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &RandomizedResult{Result: *res, Rand: rstats}, rep, nil
+}
+
+func runWithHarness(ctx context.Context, g *Graph, opts *RunOptions, h *invariant.Harness, run func(*local.Network) (*core.Result, error)) (res *Result, err error) {
+	net := newNetwork(ctx, g, opts)
+	defer net.Close()
+	h.Attach(net)
+	defer recoverInterrupt(&err)
+	cres, cerr := run(net)
+	if cerr != nil {
+		return nil, cerr
+	}
+	return &Result{
+		Colors:   cres.Coloring.Colors,
+		Rounds:   cres.Rounds,
+		Spans:    cres.Spans,
+		Frontier: cres.Frontier,
+		Stats:    cres.Stats,
+	}, nil
+}
+
+// checkReport cross-checks the final coloring against the sequential oracle
+// (independent of every distributed verifier) and folds the oracle pass into
+// the report as one extra check. An oracle rejection means a verifier bug
+// slipped through and fails the run.
+func checkReport(g *Graph, h *invariant.Harness, res *Result) (*Result, *CheckReport, error) {
+	if err := invariant.ReferenceComplete(g, res.Colors, g.MaxDegree()); err != nil {
+		return nil, nil, fmt.Errorf("deltacoloring: differential oracle rejected the final coloring: %w", err)
+	}
+	rep := &CheckReport{Checks: h.Checks() + 1, Phases: append(h.Phases(), "oracle")}
+	return res, rep, nil
 }
 
 // Verify checks that colors is a complete proper coloring of g with colors

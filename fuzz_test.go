@@ -8,7 +8,9 @@ import (
 	"strings"
 	"testing"
 
+	"deltacoloring/internal/coloring"
 	"deltacoloring/internal/graphio"
+	"deltacoloring/internal/invariant"
 )
 
 // FuzzNewGraph feeds arbitrary edge bytes into the graph builder: it must
@@ -85,6 +87,47 @@ func FuzzGraphioRead(f *testing.F) {
 		if err != nil || back.N() != g.N() || back.M() != g.M() {
 			t.Fatalf("round trip broke: n=%d m=%d err=%v", g.N(), g.M(), err)
 		}
+	})
+}
+
+// FuzzVerifiers differentially fuzzes the fast verifiers against the naive
+// sequential oracles in internal/invariant: on every (graph, coloring, k)
+// input, Verify / VerifyWithin / coloring.VerifyProper / VerifyComplete must
+// accept exactly when the independent O(n+m) reference does. A disagreement
+// in either direction is a verifier bug.
+func FuzzVerifiers(f *testing.F) {
+	f.Add(uint8(5), uint8(3), []byte{0, 1, 1, 2, 2, 3}, []byte{0, 1, 2, 0, 1})
+	f.Add(uint8(4), uint8(2), []byte{0, 1, 2, 3}, []byte{0, 0, 1, 1})
+	f.Add(uint8(3), uint8(0), []byte{0, 1}, []byte{})
+	f.Add(uint8(6), uint8(9), []byte{0, 1, 1, 2, 0, 2}, []byte{3, 4, 5, 255, 0, 1})
+	f.Fuzz(func(t *testing.T, n uint8, kRaw uint8, rawEdges, rawColors []byte) {
+		nv := int(n % 33)
+		edges := make([][2]int, 0, len(rawEdges)/2)
+		for i := 0; i+1 < len(rawEdges); i += 2 {
+			edges = append(edges, [2]int{int(rawEdges[i]) % 33, int(rawEdges[i+1]) % 33})
+		}
+		g, err := NewGraph(nv, edges)
+		if err != nil {
+			return
+		}
+		k := int(kRaw % 10)
+		colors := make([]int, len(rawColors))
+		for i, b := range rawColors {
+			colors[i] = int(b%12) - 2 // includes -1 (uncolored) and -2/out-of-range
+		}
+
+		c := &coloring.Partial{Colors: colors}
+		agree := func(name string, fastErr, refErr error) {
+			t.Helper()
+			if (fastErr == nil) != (refErr == nil) {
+				t.Fatalf("%s disagrees with oracle on n=%d k=%d colors=%v: fast=%v oracle=%v",
+					name, nv, k, colors, fastErr, refErr)
+			}
+		}
+		agree("VerifyProper", coloring.VerifyProper(g, c, k), invariant.ReferenceProper(g, colors, k))
+		agree("VerifyComplete", coloring.VerifyComplete(g, c, k), invariant.ReferenceComplete(g, colors, k))
+		agree("Verify", Verify(g, colors), invariant.ReferenceComplete(g, colors, g.MaxDegree()))
+		agree("VerifyWithin", VerifyWithin(g, colors, k), invariant.ReferenceComplete(g, colors, k))
 	})
 }
 

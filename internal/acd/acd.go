@@ -364,11 +364,11 @@ func (a *ACD) Verify(g *graph.Graph) error {
 		}
 		for _, v := range members {
 			if a.CliqueOf[v] != ci {
-				return fmt.Errorf("acd: vertex %d listed in clique %d but CliqueOf=%d", v, ci, a.CliqueOf[v])
+				return fmt.Errorf("acd: vertex %d: listed in clique %d but CliqueOf=%d", v, ci, a.CliqueOf[v])
 			}
 			seen++
 			if float64(insideCount(g, a.CliqueOf, v, ci)) < minInside {
-				return fmt.Errorf("acd: vertex %d has too few neighbors inside clique %d", v, ci)
+				return fmt.Errorf("acd: vertex %d: too few neighbors inside clique %d", v, ci)
 			}
 		}
 	}
@@ -377,13 +377,13 @@ func (a *ACD) Verify(g *graph.Graph) error {
 			continue
 		}
 		if c < 0 || c >= len(a.Cliques) {
-			return fmt.Errorf("acd: vertex %d has invalid clique %d", v, c)
+			return fmt.Errorf("acd: vertex %d: invalid clique %d", v, c)
 		}
 	}
 	for v := 0; v < g.N(); v++ {
 		if c := majorityClique(g, a.CliqueOf, v, a.CliqueOf[v], maxOutside); c != Sparse {
 			cnt := insideCount(g, a.CliqueOf, v, c)
-			return fmt.Errorf("acd: outsider %d has %d neighbors in clique %d (max %.2f)", v, cnt, c, maxOutside)
+			return fmt.Errorf("acd: vertex %d: outsider with %d neighbors in clique %d (max %.2f)", v, cnt, c, maxOutside)
 		}
 	}
 	total := 0

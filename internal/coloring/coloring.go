@@ -63,11 +63,11 @@ func VerifyProper(g *graph.Graph, c *Partial, numColors int) error {
 			continue
 		}
 		if col < 0 || col >= numColors {
-			return fmt.Errorf("coloring: vertex %d has color %d outside [0,%d)", v, col, numColors)
+			return fmt.Errorf("coloring: vertex %d: color %d outside [0,%d)", v, col, numColors)
 		}
 		for _, w := range g.Neighbors(v) {
 			if c.Colors[w] == col {
-				return fmt.Errorf("coloring: monochromatic edge {%d,%d} with color %d", v, w, col)
+				return fmt.Errorf("coloring: edge (%d,%d): monochromatic color %d", v, w, col)
 			}
 		}
 	}
@@ -81,7 +81,7 @@ func VerifyComplete(g *graph.Graph, c *Partial, numColors int) error {
 	}
 	for v, col := range c.Colors {
 		if col == None {
-			return fmt.Errorf("coloring: vertex %d uncolored", v)
+			return fmt.Errorf("coloring: vertex %d: uncolored", v)
 		}
 	}
 	return nil
@@ -90,6 +90,9 @@ func VerifyComplete(g *graph.Graph, c *Partial, numColors int) error {
 // VerifyLists checks properness plus that each colored vertex used a color
 // from its list.
 func VerifyLists(g *graph.Graph, c *Partial, lists []Palette) error {
+	if len(lists) != g.N() {
+		return fmt.Errorf("coloring: %d lists for %d vertices", len(lists), g.N())
+	}
 	maxColor := 0
 	for _, l := range lists {
 		if m := l.Max(); m >= maxColor {
@@ -101,7 +104,7 @@ func VerifyLists(g *graph.Graph, c *Partial, lists []Palette) error {
 	}
 	for v, col := range c.Colors {
 		if col != None && !lists[v].Has(col) {
-			return fmt.Errorf("coloring: vertex %d used color %d not in its list", v, col)
+			return fmt.Errorf("coloring: vertex %d: color %d not in its list", v, col)
 		}
 	}
 	return nil
@@ -218,7 +221,7 @@ func GreedyComplete(g *graph.Graph, c *Partial, k int) error {
 		p := Available(g, c, v, k)
 		col := p.Min()
 		if col < 0 {
-			return fmt.Errorf("coloring: vertex %d has empty palette", v)
+			return fmt.Errorf("coloring: vertex %d: empty palette", v)
 		}
 		c.Colors[v] = col
 	}

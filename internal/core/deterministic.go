@@ -76,6 +76,9 @@ func ColorDeterministic(net *local.Network, p Params) (*Result, error) {
 	// Algorithm 1, line 1: the ACD.
 	doneACD := net.Phase("alg1/acd")
 	a, err := acd.Compute(net, p.Eps)
+	if err == nil {
+		err = net.Checkpoint("alg1/acd", &CkptACD{A: a})
+	}
 	doneACD()
 	if err != nil {
 		return nil, err
@@ -96,6 +99,9 @@ func ColorDeterministic(net *local.Network, p Params) (*Result, error) {
 	doneCl := net.Phase("alg1/classify")
 	cl := loophole.Classify(g, a)
 	err = loophole.VerifyHard(g, a, cl)
+	if err == nil {
+		err = net.Checkpoint("alg1/classify", &CkptClassification{A: a, Cl: cl})
+	}
 	net.Charge(3) // loophole detection inspects radius-3 balls
 	doneCl()
 	if err != nil {
@@ -123,6 +129,9 @@ func ColorDeterministic(net *local.Network, p Params) (*Result, error) {
 
 	if err := coloring.VerifyComplete(g, res.Coloring, delta); err != nil {
 		return nil, fmt.Errorf("core: final verification: %w", err)
+	}
+	if err := net.Checkpoint("final", &CkptColoring{C: res.Coloring, NumColors: delta, Complete: true}); err != nil {
+		return nil, err
 	}
 	res.Rounds = net.Rounds()
 	res.Spans = net.Spans()

@@ -67,6 +67,9 @@ func (ec *easyColorer) run() error {
 	// One G_L round is simulated by loophole diameter (3) + 1 real rounds.
 	vnet := net.Virtual(lg, 4)
 	ruling, err := rulingset.RulingSet(vnet, hp.p.RulingR)
+	if err == nil {
+		err = net.Checkpoint("alg3/rulingset", &CkptRulingSet{G: lg, In: ruling, R: hp.p.RulingR})
+	}
 	done()
 	if err != nil {
 		return fmt.Errorf("core: loophole ruling set: %w", err)
@@ -157,7 +160,7 @@ func (ec *easyColorer) run() error {
 			return fmt.Errorf("core: vertex %d uncolored after Algorithm 3", v)
 		}
 	}
-	return nil
+	return net.Checkpoint("alg3/layers", &CkptColoring{C: out, NumColors: delta})
 }
 
 // loopholeGraph builds G_L: one node per voted loophole, an edge when two

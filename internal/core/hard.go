@@ -182,7 +182,7 @@ func (hp *hardPipeline) phase1Matching() error {
 		hp.f1At[e.V] = i
 	}
 	hp.stats.F1Size = len(f1)
-	return nil
+	return hp.net.Checkpoint("alg2/matching", &CkptMatching{Matched: f1, Within: hp.eHard})
 }
 
 // phase1HEG builds the proposal hypergraph H (Section 3.3), checks the
@@ -352,6 +352,9 @@ func (hp *hardPipeline) phase1HEG() error {
 	if err := heg.Verify(h, grab); err != nil {
 		return fmt.Errorf("core: HEG solution invalid: %w", err)
 	}
+	if err := hp.net.Checkpoint("alg2/heg", &CkptHEG{H: h, Grab: grab}); err != nil {
+		return err
+	}
 	hp.stats.HEG = hst
 
 	// F2: for each grab, the unique requesting member v_e of the winning
@@ -420,20 +423,26 @@ func (hp *hardPipeline) phase2Sparsify() error {
 		return nil
 	}
 
+	// Virtual multigraph G_Q: node 2c is Q_c^+ (tails), node 2c+1 is
+	// Q_c^- (heads).
+	qEdges := make([]graph.Edge, len(hp.f2))
+	for i, de := range hp.f2 {
+		qEdges[i] = graph.Edge{U: 2 * hp.hardOf[de.Tail], V: 2*hp.hardOf[de.Head] + 1}
+	}
 	part := make([]int, len(hp.f2))
 	if hp.p.SplitLevels > 0 {
-		// Virtual multigraph G_Q: node 2c is Q_c^+ (tails), node 2c+1 is
-		// Q_c^- (heads).
-		qEdges := make([]graph.Edge, len(hp.f2))
-		for i, de := range hp.f2 {
-			qEdges[i] = graph.Edge{U: 2 * hp.hardOf[de.Tail], V: 2*hp.hardOf[de.Head] + 1}
-		}
 		vnet := hp.net.Virtual(graph.Path(2), 2)
 		var err error
 		part, err = split.Split(vnet, 2*len(hp.a.Cliques), qEdges, hp.p.SplitLevels, hp.p.SplitEps)
 		if err != nil {
 			return fmt.Errorf("core: phase 2 split: %w", err)
 		}
+	}
+	if err := hp.net.Checkpoint("alg2/sparsify", &CkptSplit{
+		N: 2 * len(hp.a.Cliques), Edges: qEdges, Part: part,
+		Levels: hp.p.SplitLevels, Eps: hp.p.SplitEps,
+	}); err != nil {
+		return err
 	}
 
 	// Keep part 0; per clique keep only two outgoing edges (Step 6). The
@@ -585,7 +594,7 @@ func (hp *hardPipeline) phase3Triads() error {
 		}
 	}
 	hp.stats.Triads = len(hp.triads)
-	return nil
+	return hp.net.Checkpoint("alg2/triads", &CkptTriads{Triads: hp.triads})
 }
 
 // phase4APairs same-colors the slack pairs via the virtual conflict graph
@@ -641,7 +650,7 @@ func (hp *hardPipeline) phase4APairs() error {
 		hp.out.Colors[tr.PairIn] = c
 		hp.out.Colors[tr.PairOut] = c
 	}
-	return nil
+	return hp.net.Checkpoint("alg2/pairs", &CkptColoring{C: hp.out, NumColors: hp.delta})
 }
 
 // phase4BRest colors the remaining hard vertices with two deg+1-list
@@ -718,7 +727,7 @@ func (hp *hardPipeline) phase4BRest() error {
 			return fmt.Errorf("core: hard vertex %d left uncolored after Algorithm 2", v)
 		}
 	}
-	return nil
+	return hp.net.Checkpoint("alg2/rest", &CkptColoring{C: hp.out, NumColors: hp.delta})
 }
 
 func (hp *hardPipeline) fillLists(inst *listcolor.Instance) {

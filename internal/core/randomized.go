@@ -94,6 +94,9 @@ func ColorRandomized(net *local.Network, rp RandomizedParams, rng *rand.Rand) (*
 	// Shared preprocessing with Theorem 1 (ACD, Brooks, classification).
 	doneACD := net.Phase("alg4/acd")
 	a, err := acd.Compute(net, rp.Eps)
+	if err == nil {
+		err = net.Checkpoint("alg4/acd", &CkptACD{A: a})
+	}
 	doneACD()
 	if err != nil {
 		return nil, err
@@ -110,6 +113,9 @@ func ColorRandomized(net *local.Network, rp RandomizedParams, rng *rand.Rand) (*
 	doneCl := net.Phase("alg4/classify")
 	cl := loophole.Classify(g, a)
 	err = loophole.VerifyHard(g, a, cl)
+	if err == nil {
+		err = net.Checkpoint("alg4/classify", &CkptClassification{A: a, Cl: cl})
+	}
 	net.Charge(3)
 	doneCl()
 	if err != nil {
@@ -145,6 +151,9 @@ func ColorRandomized(net *local.Network, rp RandomizedParams, rng *rand.Rand) (*
 	donePre()
 	if err := coloring.VerifyProper(g, out, delta); err != nil {
 		return nil, fmt.Errorf("core: T-node pair coloring improper: %w", err)
+	}
+	if err := net.Checkpoint("alg4/preshatter", &CkptColoring{C: out, NumColors: delta}); err != nil {
+		return nil, err
 	}
 
 	// Happy region: hard vertices within HappyRadius of a kept slack
@@ -206,6 +215,9 @@ func ColorRandomized(net *local.Network, rp RandomizedParams, rng *rand.Rand) (*
 	// pairs), using the full palette [0, Δ).
 	doneHappy := net.Phase("alg4/happylayers")
 	err = colorHappyLayers(net, g, out, delta, rp.HappyRadius, tnodes.kept, hardOf)
+	if err == nil {
+		err = net.Checkpoint("alg4/happylayers", &CkptColoring{C: out, NumColors: delta})
+	}
 	doneHappy()
 	if err != nil {
 		return nil, err
@@ -226,6 +238,9 @@ func ColorRandomized(net *local.Network, rp RandomizedParams, rng *rand.Rand) (*
 
 	if err := coloring.VerifyComplete(g, out, delta); err != nil {
 		return nil, fmt.Errorf("core: final verification: %w", err)
+	}
+	if err := net.Checkpoint("final", &CkptColoring{C: out, NumColors: delta, Complete: true}); err != nil {
+		return nil, err
 	}
 	res.Rounds = net.Rounds()
 	res.Spans = net.Spans()

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// TestLemma11RoundingEdge is the table-driven regression for experiment E13:
+// the paper's constants are tight, and with *integer* sub-clique sizes the
+// Lemma 11 slack check floor(|C|/P) > 1.05·r_H fails for Δ just below the
+// ≈85 threshold even though the continuous arithmetic (Δ-1)/28 > 2.1 passes.
+// Δ = 63 is the canonical rounding edge: Params.Validate accepts it
+// ((63-1)/28 ≈ 2.214 > 2.1) but the runtime instance check in phase1HEG must
+// refuse rather than silently weaken the slack. The scaled preset at Δ = 16
+// and the default preset at Δ = 96 pin the two accepting sides of the edge.
+func TestLemma11RoundingEdge(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       int
+		delta   int
+		params  Params
+		wantErr string // substring of the expected error ("" = must succeed)
+		heavy   bool   // skipped under -short
+	}{
+		{name: "delta63 paper params rejected", m: 63, delta: 63,
+			params: DefaultParams(), wantErr: "Lemma 11", heavy: true},
+		{name: "delta16 scaled params accepted", m: 16, delta: 16,
+			params: TestParams()},
+		{name: "delta96 paper params accepted", m: 96, delta: 96,
+			params: DefaultParams(), heavy: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("heavy rounding-edge instance; skipped under -short")
+			}
+			g, _ := graph.HardCliqueBipartite(tc.m, tc.delta)
+			// Validate alone must pass on every row: the rounding edge is
+			// invisible to the continuous parameter arithmetic.
+			if err := tc.params.Validate(tc.delta); err != nil {
+				t.Fatalf("Params.Validate rejected Δ=%d: %v", tc.delta, err)
+			}
+			net := local.New(g)
+			defer net.Close()
+			res, err := ColorDeterministic(net, tc.params)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Δ=%d: %v", tc.delta, err)
+				}
+				if got := res.Coloring.CountColored(); got != g.N() {
+					t.Fatalf("Δ=%d: %d of %d vertices colored", tc.delta, got, g.N())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Δ=%d: rounding edge silently accepted", tc.delta)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Δ=%d: error %q does not mention %q", tc.delta, err, tc.wantErr)
+			}
+		})
+	}
+}

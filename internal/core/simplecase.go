@@ -43,6 +43,9 @@ func ColorSimpleDense(net *local.Network, p Params) (*Result, error) {
 
 	doneACD := net.Phase("simple/acd")
 	a, err := acd.Compute(net, p.Eps)
+	if err == nil {
+		err = net.Checkpoint("simple/acd", &CkptACD{A: a})
+	}
 	doneACD()
 	if err != nil {
 		return nil, err
@@ -59,6 +62,9 @@ func ColorSimpleDense(net *local.Network, p Params) (*Result, error) {
 	doneCl := net.Phase("simple/classify")
 	cl := loophole.Classify(g, a)
 	err = loophole.VerifyHard(g, a, cl)
+	if err == nil {
+		err = net.Checkpoint("simple/classify", &CkptClassification{A: a, Cl: cl})
+	}
 	net.Charge(3)
 	doneCl()
 	if err != nil {
@@ -120,6 +126,9 @@ func ColorSimpleDense(net *local.Network, p Params) (*Result, error) {
 	}
 	vnet := net.Virtual(h, 2)
 	orientation, err := sinkless.OrientKOut(vnet, k)
+	if err == nil {
+		err = net.Checkpoint("simple/orientation", &CkptOrientation{G: h, O: orientation, K: k})
+	}
 	doneOrient()
 	if err != nil {
 		return nil, fmt.Errorf("core: %d-out orientation: %w", k, err)
@@ -164,6 +173,9 @@ func ColorSimpleDense(net *local.Network, p Params) (*Result, error) {
 
 	if err := coloring.VerifyComplete(g, res.Coloring, delta); err != nil {
 		return nil, fmt.Errorf("core: final verification: %w", err)
+	}
+	if err := net.Checkpoint("final", &CkptColoring{C: res.Coloring, NumColors: delta, Complete: true}); err != nil {
+		return nil, err
 	}
 	res.Rounds = net.Rounds()
 	res.Spans = net.Spans()

@@ -333,7 +333,7 @@ func Verify(h *Hypergraph, grab []int) error {
 	used := make(map[int]int)
 	for v, e := range grab {
 		if e < 0 || e >= len(h.Edges) {
-			return fmt.Errorf("heg: vertex %d grabbed invalid edge %d", v, e)
+			return fmt.Errorf("heg: vertex %d: grabbed invalid hyperedge %d", v, e)
 		}
 		found := false
 		for _, u := range h.Edges[e] {
@@ -343,10 +343,10 @@ func Verify(h *Hypergraph, grab []int) error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("heg: vertex %d grabbed non-incident edge %d", v, e)
+			return fmt.Errorf("heg: vertex %d: grabbed non-incident hyperedge %d", v, e)
 		}
 		if w, dup := used[e]; dup {
-			return fmt.Errorf("heg: edge %d grabbed by both %d and %d", e, w, v)
+			return fmt.Errorf("heg: vertex %d: hyperedge %d already grabbed by vertex %d", v, e, w)
 		}
 		used[e] = v
 	}

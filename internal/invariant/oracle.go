@@ -1,0 +1,195 @@
+package invariant
+
+import (
+	"fmt"
+
+	"deltacoloring/internal/graph"
+)
+
+// Sequential reference oracles. These deliberately share no code with the
+// distributed algorithms or their verifiers: each is a direct O(n+m)-style
+// implementation of the guarantee, so a bug in the fast path and a bug in
+// its verifier cannot cancel out.
+
+// BruteMaxN is the largest graph the exact Δ-colorability oracle accepts.
+const BruteMaxN = 12
+
+// ReferenceProper is the naive properness check: every used color lies in
+// [0, numColors) and no edge is monochromatic. colors uses -1 for uncolored.
+func ReferenceProper(g *graph.Graph, colors []int, numColors int) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("oracle: %d colors for %d vertices", len(colors), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		c := colors[v]
+		if c == -1 {
+			continue
+		}
+		if c < 0 || c >= numColors {
+			return fmt.Errorf("oracle: vertex %d: color %d outside [0,%d)", v, c, numColors)
+		}
+		for _, w := range g.Neighbors(v) {
+			if colors[w] == c {
+				return fmt.Errorf("oracle: edge (%d,%d): monochromatic color %d", v, w, c)
+			}
+		}
+	}
+	return nil
+}
+
+// ReferenceComplete is ReferenceProper plus no uncolored vertices.
+func ReferenceComplete(g *graph.Graph, colors []int, numColors int) error {
+	for v, c := range colors {
+		if c == -1 {
+			return fmt.Errorf("oracle: vertex %d: uncolored", v)
+		}
+	}
+	return ReferenceProper(g, colors, numColors)
+}
+
+// GreedyColoring is the sequential deg+1 baseline: scan vertices in index
+// order, give each the smallest color not used by an already-colored
+// neighbor. It always succeeds within Δ+1 colors.
+func GreedyColoring(g *graph.Graph) []int {
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = -1
+	}
+	used := make([]bool, g.MaxDegree()+2)
+	for v := 0; v < g.N(); v++ {
+		for i := range used {
+			used[i] = false
+		}
+		for _, w := range g.Neighbors(v) {
+			if c := colors[w]; c >= 0 && c < len(used) {
+				used[c] = true
+			}
+		}
+		for c := range used {
+			if !used[c] {
+				colors[v] = c
+				break
+			}
+		}
+	}
+	return colors
+}
+
+// BruteDeltaColoring searches exhaustively for a proper coloring of g with
+// max(Δ,1) colors. It returns (coloring, true) when one exists, (nil,
+// false) when none does, and panics if g.N() > BruteMaxN — callers gate on
+// size.
+func BruteDeltaColoring(g *graph.Graph) ([]int, bool) {
+	if g.N() > BruteMaxN {
+		panic(fmt.Sprintf("oracle: brute force capped at n=%d, got %d", BruteMaxN, g.N()))
+	}
+	k := g.MaxDegree()
+	if k < 1 {
+		k = 1
+	}
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = -1
+	}
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == g.N() {
+			return true
+		}
+		for c := 0; c < k; c++ {
+			ok := true
+			for _, w := range g.Neighbors(v) {
+				if colors[w] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[v] = c
+				if rec(v + 1) {
+					return true
+				}
+				colors[v] = -1
+			}
+		}
+		return false
+	}
+	if rec(0) {
+		return colors, true
+	}
+	return nil, false
+}
+
+// GreedyMIS is the sequential maximal-independent-set reference: scan in
+// index order, add each vertex with no earlier neighbor in the set.
+func GreedyMIS(g *graph.Graph) []bool {
+	in := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		ok := true
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				ok = false
+				break
+			}
+		}
+		in[v] = ok
+	}
+	return in
+}
+
+// ReferenceMIS checks independence and maximality of in by direct scans.
+func ReferenceMIS(g *graph.Graph, in []bool) error {
+	if len(in) != g.N() {
+		return fmt.Errorf("oracle: %d flags for %d vertices", len(in), g.N())
+	}
+	for v := 0; v < g.N(); v++ {
+		dominated := in[v]
+		for _, w := range g.Neighbors(v) {
+			if in[w] {
+				if in[v] {
+					return fmt.Errorf("oracle: edge (%d,%d): both in the MIS", v, int(w))
+				}
+				dominated = true
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("oracle: vertex %d: undominated", v)
+		}
+	}
+	return nil
+}
+
+// GreedyMatching is the sequential maximal-matching reference over an edge
+// subset: scan edges in order, keep those whose endpoints are both free.
+func GreedyMatching(g *graph.Graph, edges []graph.Edge) []graph.Edge {
+	used := make([]bool, g.N())
+	var out []graph.Edge
+	for _, e := range edges {
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ReferenceMatching checks that matched is a maximal matching within edges
+// by direct scans.
+func ReferenceMatching(g *graph.Graph, matched, edges []graph.Edge) error {
+	used := make([]bool, g.N())
+	for _, e := range matched {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("oracle: edge (%d,%d): not a graph edge", e.U, e.V)
+		}
+		if used[e.U] || used[e.V] {
+			return fmt.Errorf("oracle: edge (%d,%d): endpoint reused", e.U, e.V)
+		}
+		used[e.U], used[e.V] = true, true
+	}
+	for _, e := range edges {
+		if !used[e.U] && !used[e.V] {
+			return fmt.Errorf("oracle: edge (%d,%d): free edge, matching not maximal", e.U, e.V)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"deltacoloring/internal/graph"
+)
+
+func TestGreedyColoringAlwaysProper(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(9), graph.Complete(6), graph.Grid(4, 5), graph.Path(7), graph.Star(8),
+	} {
+		colors := GreedyColoring(g)
+		if err := ReferenceComplete(g, colors, g.MaxDegree()+1); err != nil {
+			t.Fatalf("greedy broke deg+1 on n=%d: %v", g.N(), err)
+		}
+	}
+}
+
+func TestBruteDeltaColoring(t *testing.T) {
+	cases := []struct {
+		name      string
+		g         *graph.Graph
+		colorable bool
+	}{
+		{"even cycle", graph.Cycle(8), true},
+		{"odd cycle (Brooks class)", graph.Cycle(9), false},
+		{"clique (Brooks class)", graph.Complete(5), false},
+		{"grid", graph.Grid(3, 4), true},
+		{"path", graph.Path(6), true},
+	}
+	for _, tc := range cases {
+		colors, ok := BruteDeltaColoring(tc.g)
+		if ok != tc.colorable {
+			t.Fatalf("%s: colorable=%v, want %v", tc.name, ok, tc.colorable)
+		}
+		if !ok {
+			continue
+		}
+		k := tc.g.MaxDegree()
+		if k < 1 {
+			k = 1
+		}
+		if err := ReferenceComplete(tc.g, colors, k); err != nil {
+			t.Fatalf("%s: brute witness invalid: %v", tc.name, err)
+		}
+	}
+}
+
+func TestBruteDeltaColoringSizeCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n > BruteMaxN did not panic")
+		}
+	}()
+	BruteDeltaColoring(graph.Cycle(BruteMaxN + 1))
+}
+
+func TestReferenceProperBranches(t *testing.T) {
+	g := graph.Path(4)
+	check := func(name string, colors []int, k int, wantErr string) {
+		t.Helper()
+		err := ReferenceProper(g, colors, k)
+		if wantErr == "" {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return
+		}
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Fatalf("%s: error %v does not mention %q", name, err, wantErr)
+		}
+	}
+	check("valid partial", []int{0, 1, -1, 0}, 2, "")
+	check("length mismatch", []int{0, 1}, 2, "colors for")
+	check("out of range", []int{0, 5, 0, 1}, 2, "outside")
+	check("monochromatic", []int{0, 0, 1, 0}, 2, "monochromatic")
+
+	if err := ReferenceComplete(g, []int{0, 1, -1, 0}, 2); err == nil ||
+		!strings.Contains(err.Error(), "uncolored") {
+		t.Fatalf("uncolored vertex not flagged: %v", err)
+	}
+	if err := ReferenceComplete(g, []int{0, 1, 0, 1}, 2); err != nil {
+		t.Fatalf("valid complete coloring rejected: %v", err)
+	}
+}
+
+func TestGreedyMISAndReference(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(10), graph.Grid(4, 4), graph.Complete(5)} {
+		in := GreedyMIS(g)
+		if err := ReferenceMIS(g, in); err != nil {
+			t.Fatalf("greedy MIS invalid on n=%d: %v", g.N(), err)
+		}
+	}
+	g := graph.Path(4)
+	if err := ReferenceMIS(g, []bool{true, true, false, false}); err == nil ||
+		!strings.Contains(err.Error(), "both in the MIS") {
+		t.Fatal("adjacent members accepted")
+	}
+	if err := ReferenceMIS(g, []bool{true, false, false, false}); err == nil ||
+		!strings.Contains(err.Error(), "undominated") {
+		t.Fatal("undominated vertex accepted")
+	}
+	if err := ReferenceMIS(g, []bool{true}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestGreedyMatchingAndReference(t *testing.T) {
+	g := graph.Cycle(10)
+	edges := g.Edges()
+	matched := GreedyMatching(g, edges)
+	if err := ReferenceMatching(g, matched, edges); err != nil {
+		t.Fatalf("greedy matching invalid: %v", err)
+	}
+	// Violations: non-edge, endpoint reuse, non-maximality.
+	if err := ReferenceMatching(g, []graph.Edge{{U: 0, V: 5}}, edges); err == nil ||
+		!strings.Contains(err.Error(), "not a graph edge") {
+		t.Fatal("non-edge accepted")
+	}
+	if err := ReferenceMatching(g, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}, edges); err == nil ||
+		!strings.Contains(err.Error(), "endpoint reused") {
+		t.Fatal("endpoint reuse accepted")
+	}
+	if err := ReferenceMatching(g, nil, edges); err == nil ||
+		!strings.Contains(err.Error(), "not maximal") {
+		t.Fatal("empty matching accepted as maximal")
+	}
+}

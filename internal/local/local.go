@@ -73,6 +73,7 @@ type counter struct {
 	open      []int // indices into spans of currently open phases
 	interrupt func() error
 	spanHook  func(Span)
+	checkHook func(phase string, artifact any) error
 	pool      *workerPool
 	frontier  FrontierStats
 }
@@ -272,6 +273,38 @@ func (n *Network) SetSpanHook(hook func(Span)) {
 	n.counter.mu.Lock()
 	defer n.counter.mu.Unlock()
 	n.counter.spanHook = hook
+}
+
+// SetCheckHook installs a conformance hook invoked by Checkpoint with each
+// intermediate artifact a pipeline publishes at its span boundaries. The
+// hook runs on the algorithm's goroutine, outside the counter lock, and is
+// shared with all Virtual children; a non-nil return aborts the publishing
+// phase with that error. Pass nil to remove it.
+func (n *Network) SetCheckHook(hook func(phase string, artifact any) error) {
+	n.counter.mu.Lock()
+	defer n.counter.mu.Unlock()
+	n.counter.checkHook = hook
+}
+
+// Checking reports whether a check hook is installed, so pipelines can skip
+// building artifacts nobody will consume.
+func (n *Network) Checking() bool {
+	n.counter.mu.Lock()
+	defer n.counter.mu.Unlock()
+	return n.counter.checkHook != nil
+}
+
+// Checkpoint publishes an intermediate artifact under a phase tag to the
+// installed check hook, returning the hook's verdict. With no hook installed
+// it is a no-op, so pipelines call it unconditionally at span boundaries.
+func (n *Network) Checkpoint(phase string, artifact any) error {
+	n.counter.mu.Lock()
+	hook := n.counter.checkHook
+	n.counter.mu.Unlock()
+	if hook == nil {
+		return nil
+	}
+	return hook(phase, artifact)
 }
 
 // CountMessages adds n to the message counter (used by the message-passing

@@ -117,7 +117,7 @@ func VerifyHard(g *graph.Graph, a *acd.ACD, cl *Classification) error {
 		}
 		for _, v := range members {
 			if g.Degree(v) != delta {
-				return fmt.Errorf("loophole: hard clique %d member %d has degree %d != Δ (Lemma 9.2)", ci, v, g.Degree(v))
+				return fmt.Errorf("loophole: vertex %d: degree %d != Δ in hard clique %d (Lemma 9.2)", v, g.Degree(v), ci)
 			}
 		}
 		counts := map[int]int{}
@@ -130,7 +130,7 @@ func VerifyHard(g *graph.Graph, a *acd.ACD, cl *Classification) error {
 		}
 		for w, cnt := range counts {
 			if cnt > 1 {
-				return fmt.Errorf("loophole: outsider %d has %d neighbors in hard clique %d (Lemma 9.3)", w, cnt, ci)
+				return fmt.Errorf("loophole: vertex %d: outsider with %d neighbors in hard clique %d (Lemma 9.3)", w, cnt, ci)
 			}
 		}
 	}

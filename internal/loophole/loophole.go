@@ -62,7 +62,7 @@ func (l *Loophole) Validate(g *graph.Graph, delta int) error {
 	switch len(l.Verts) {
 	case 1:
 		if !l.ExternalSlack && g.Degree(l.Verts[0]) >= delta {
-			return fmt.Errorf("loophole: vertex %d has full degree %d", l.Verts[0], delta)
+			return fmt.Errorf("loophole: vertex %d: full degree %d", l.Verts[0], delta)
 		}
 		return nil
 	case 4, 6:
@@ -72,12 +72,12 @@ func (l *Loophole) Validate(g *graph.Graph, delta int) error {
 		seen := map[int]bool{}
 		for i, v := range l.Cycle {
 			if seen[v] {
-				return fmt.Errorf("loophole: repeated vertex %d", v)
+				return fmt.Errorf("loophole: vertex %d: repeated in cycle", v)
 			}
 			seen[v] = true
 			w := l.Cycle[(i+1)%len(l.Cycle)]
 			if !g.HasEdge(v, w) {
-				return fmt.Errorf("loophole: missing cycle edge {%d,%d}", v, w)
+				return fmt.Errorf("loophole: edge (%d,%d): missing cycle edge", v, w)
 			}
 		}
 		if g.IsClique(l.Verts) {

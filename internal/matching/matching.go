@@ -99,10 +99,10 @@ func Verify(g *graph.Graph, matched []graph.Edge, edges []graph.Edge) error {
 	used := make([]bool, g.N())
 	for _, e := range matched {
 		if !g.HasEdge(e.U, e.V) {
-			return fmt.Errorf("matching: {%d,%d} is not an edge", e.U, e.V)
+			return fmt.Errorf("matching: edge (%d,%d): not a graph edge", e.U, e.V)
 		}
 		if used[e.U] || used[e.V] {
-			return fmt.Errorf("matching: vertex reused by edge {%d,%d}", e.U, e.V)
+			return fmt.Errorf("matching: edge (%d,%d): endpoint reused", e.U, e.V)
 		}
 		used[e.U] = true
 		used[e.V] = true
@@ -112,7 +112,7 @@ func Verify(g *graph.Graph, matched []graph.Edge, edges []graph.Edge) error {
 	}
 	for _, e := range edges {
 		if !used[e.U] && !used[e.V] {
-			return fmt.Errorf("matching: not maximal, edge {%d,%d} is free", e.U, e.V)
+			return fmt.Errorf("matching: edge (%d,%d): free edge, matching not maximal", e.U, e.V)
 		}
 	}
 	return nil

@@ -99,6 +99,14 @@ func Detect(net *local.Network, colors []int, numColors int) ([]int, error) {
 	return damaged, nil
 }
 
+// Snapshot is the checkpoint artifact Repair publishes (phase "repair") to
+// an installed local.Network check hook: the repaired coloring and the
+// palette size it actually used (numColors, or numColors+1 after growing).
+type Snapshot struct {
+	Colors    []int
+	NumColors int
+}
+
 // Repair detects the damaged region of colors and recolors it in place,
 // following the package contract. numColors is the palette of the valid
 // region (Δ for pipeline colorings); the result uses at most numColors+1
@@ -211,6 +219,9 @@ func Repair(net *local.Network, colors []int, numColors int) (*Result, error) {
 	c := coloring.Partial{Colors: colors}
 	if verr := coloring.VerifyComplete(g, &c, k); verr != nil {
 		return nil, fmt.Errorf("repair: repaired coloring failed verification: %w", verr)
+	}
+	if err := net.Checkpoint("repair", &Snapshot{Colors: colors, NumColors: k}); err != nil {
+		return nil, err
 	}
 	res.Rounds = net.Rounds() - startRounds
 	return res, nil

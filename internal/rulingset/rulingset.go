@@ -104,14 +104,14 @@ func VerifyMIS(g *graph.Graph, in []bool) error {
 		anyIn := in[v]
 		for _, w := range g.Neighbors(v) {
 			if in[v] && in[w] {
-				return fmt.Errorf("rulingset: adjacent MIS members %d, %d", v, w)
+				return fmt.Errorf("rulingset: edge (%d,%d): both endpoints in the MIS", v, w)
 			}
 			if in[w] {
 				anyIn = true
 			}
 		}
 		if !anyIn {
-			return fmt.Errorf("rulingset: vertex %d undominated", v)
+			return fmt.Errorf("rulingset: vertex %d: undominated", v)
 		}
 	}
 	return nil
@@ -131,7 +131,8 @@ func VerifyRulingSet(g *graph.Graph, in []bool, r int) error {
 	for i := 0; i < len(members); i++ {
 		for j := i + 1; j < len(members); j++ {
 			if d := g.Dist(members[i], members[j]); d >= 0 && d <= r {
-				return fmt.Errorf("rulingset: members %d, %d at distance %d <= r=%d", members[i], members[j], d, r)
+				return fmt.Errorf("rulingset: vertex %d: member at distance %d <= r=%d from member %d",
+					members[i], d, r, members[j])
 			}
 		}
 	}
@@ -147,7 +148,7 @@ func VerifyRulingSet(g *graph.Graph, in []bool, r int) error {
 			}
 		}
 		if !ok {
-			return fmt.Errorf("rulingset: vertex %d not within %d of the set", v, r)
+			return fmt.Errorf("rulingset: vertex %d: not within distance %d of the set", v, r)
 		}
 	}
 	return nil

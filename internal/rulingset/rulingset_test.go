@@ -125,6 +125,51 @@ func TestVerifyRulingSetCatchesViolations(t *testing.T) {
 	}
 }
 
+// TestVerifyRulingSetDeepRadius pins the r > 1 branches on exact distance
+// boundaries: members at distance exactly r are too close (the check is
+// strict), distance r+1 is legal, domination holds at distance exactly r,
+// and a vertex at distance r+1 from every member is undominated. A path
+// graph makes every distance explicit.
+func TestVerifyRulingSetDeepRadius(t *testing.T) {
+	g := graph.Path(12)
+	set := func(members ...int) []bool {
+		in := make([]bool, g.N())
+		for _, v := range members {
+			in[v] = true
+		}
+		return in
+	}
+	cases := []struct {
+		name    string
+		in      []bool
+		r       int
+		wantErr bool
+	}{
+		{"r3 members at distance 3 too close", set(0, 3, 7, 11), 3, true},
+		{"r3 members at distance 4 legal", set(0, 4, 8), 3, false},
+		{"r3 domination at exact distance", set(3, 8), 3, false},
+		{"r3 vertex at distance 4 undominated", set(0, 8), 3, true},
+		{"r4 spacing 5 legal", set(1, 6, 11), 4, false},
+		{"r4 spacing 4 too close", set(1, 5, 11), 4, true},
+		{"flag length mismatch", []bool{true}, 3, true},
+		{"empty set nothing dominated", set(), 3, true},
+	}
+	for _, tc := range cases {
+		err := VerifyRulingSet(g, tc.in, tc.r)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err=%v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+	// The constructive side: RulingSet at r=3 must satisfy its own verifier.
+	in, err := RulingSet(local.New(g), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRulingSet(g, in, 3); err != nil {
+		t.Fatalf("constructed 3-ruling set rejected: %v", err)
+	}
+}
+
 func TestMISProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -36,6 +36,12 @@ type ColorRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the result cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Check runs the job under the conformance harness: every pipeline phase
+	// checkpoints its intermediate state for the invariant checkers, and the
+	// final coloring is cross-checked against the sequential oracle. The
+	// response reports the firing count and phases. ?check=1 on the URL is an
+	// equivalent spelling. Checked runs are bit-identical to unchecked ones.
+	Check bool `json:"check,omitempty"`
 	// IdempotencyKey deduplicates retried POSTs: while a job with the same
 	// key is retained, a new request joins it instead of recomputing. The
 	// Idempotency-Key header is an equivalent spelling.
@@ -85,7 +91,11 @@ type ColorResponse struct {
 	Spans     []PhaseSpan   `json:"spans,omitempty"`
 	Shatter   *ShatterStats `json:"shatter,omitempty"`
 	ElapsedMS float64       `json:"elapsed_ms,omitempty"`
-	Error     string        `json:"error,omitempty"`
+	// Checks / CheckPhases report the conformance harness of a check=1 run:
+	// total checker firings and the distinct validated phase tags.
+	Checks      int      `json:"checks,omitempty"`
+	CheckPhases []string `json:"check_phases,omitempty"`
+	Error       string   `json:"error,omitempty"`
 	// Quarantined marks a failed job whose final attempt panicked; the job
 	// record is retained for inspection past normal eviction.
 	Quarantined bool `json:"quarantined,omitempty"`
@@ -189,6 +199,12 @@ func cacheKey(g *graph.Graph, req *ColorRequest) string {
 	if req.Algo == "rand" {
 		key += fmt.Sprintf("|seed=%d", req.Seed)
 	}
+	if req.Check {
+		// Checked runs produce bit-identical colorings but a richer response
+		// (checks summary); keep the cache entries separate so an unchecked
+		// hit never masquerades as a validated one.
+		key += "|check=true"
+	}
 	return key
 }
 
@@ -197,8 +213,9 @@ func cacheKey(g *graph.Graph, req *ColorRequest) string {
 // while the append-grown staging buffer returns to the pool.
 var spanScratch = sync.Pool{New: func() any { return new([]PhaseSpan) }}
 
-// resultResponse converts a run result into the wire shape.
-func resultResponse(g *graph.Graph, res *deltacoloring.Result, shatter *deltacoloring.RandStats, elapsedMS float64) *ColorResponse {
+// resultResponse converts a run result into the wire shape. report is the
+// conformance summary of a checked run (nil otherwise).
+func resultResponse(g *graph.Graph, res *deltacoloring.Result, shatter *deltacoloring.RandStats, report *deltacoloring.CheckReport, elapsedMS float64) *ColorResponse {
 	resp := &ColorResponse{
 		State:     "done",
 		N:         g.N(),
@@ -228,6 +245,10 @@ func resultResponse(g *graph.Graph, res *deltacoloring.Result, shatter *deltacol
 			Components:     shatter.Components,
 			MaxComponent:   shatter.MaxComponent,
 		}
+	}
+	if report != nil {
+		resp.Checks = report.Checks
+		resp.CheckPhases = report.Phases
 	}
 	return resp
 }

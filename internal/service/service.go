@@ -376,6 +376,7 @@ func (s *Server) worker() {
 type runOutcome struct {
 	res      *deltacoloring.Result
 	shatter  *deltacoloring.RandStats
+	report   *deltacoloring.CheckReport
 	err      error
 	panicked bool
 }
@@ -416,7 +417,7 @@ func (s *Server) runJob(j *job) {
 		}
 		if o.err == nil {
 			elapsed := time.Since(start)
-			resp := resultResponse(j.g, o.res, o.shatter, float64(elapsed.Microseconds())/1000)
+			resp := resultResponse(j.g, o.res, o.shatter, o.report, float64(elapsed.Microseconds())/1000)
 			resp.JobID = j.id
 			if !j.req.NoCache {
 				s.cache.add(j.key, resp)
@@ -463,6 +464,7 @@ func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 	var (
 		res     *deltacoloring.Result
 		shatter *deltacoloring.RandStats
+		report  *deltacoloring.CheckReport
 		err     error
 	)
 	if j.req.Algo == "rand" {
@@ -471,7 +473,11 @@ func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 			p = deltacoloring.DefaultRandomizedParams()
 		}
 		var rr *deltacoloring.RandomizedResult
-		rr, err = deltacoloring.RandomizedContext(j.ctx, j.g, p, j.req.Seed, opts)
+		if j.req.Check {
+			rr, report, err = deltacoloring.RunCheckedRandomizedContext(j.ctx, j.g, p, j.req.Seed, opts)
+		} else {
+			rr, err = deltacoloring.RandomizedContext(j.ctx, j.g, p, j.req.Seed, opts)
+		}
 		if rr != nil {
 			res, shatter = &rr.Result, &rr.Rand
 		}
@@ -480,12 +486,16 @@ func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 		if j.req.Paper {
 			p = deltacoloring.DefaultParams()
 		}
-		res, err = deltacoloring.DeterministicContext(j.ctx, j.g, p, opts)
+		if j.req.Check {
+			res, report, err = deltacoloring.RunCheckedContext(j.ctx, j.g, p, opts)
+		} else {
+			res, err = deltacoloring.DeterministicContext(j.ctx, j.g, p, opts)
+		}
 	}
 	if err == nil {
 		err = deltacoloring.Verify(j.g, res.Colors)
 	}
-	out <- runOutcome{res: res, shatter: shatter, err: err}
+	out <- runOutcome{res: res, shatter: shatter, report: report, err: err}
 }
 
 // retryableFailure reports whether an attempt's failure is worth re-running:
@@ -577,6 +587,12 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// ?check=1 is the query-param spelling of the request's check field.
+	switch r.URL.Query().Get("check") {
+	case "", "0", "false":
+	default:
+		req.Check = true
 	}
 	g, err := buildGraph(req, s.cfg.MaxVertices)
 	if err != nil {

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -119,6 +120,90 @@ func TestCacheHitAcrossSources(t *testing.T) {
 	if resp, err := cl.Color(context.Background(), r2); err != nil || resp.Cached {
 		t.Fatalf("rand seed 2 must not hit seed 1's entry: cached=%v err=%v", resp != nil && resp.Cached, err)
 	}
+}
+
+// check=1 attaches the conformance harness: the response must report phase
+// checker firings plus the oracle cross-check, the coloring must stay
+// bit-identical to the unchecked run, and checked/unchecked results must not
+// share cache entries.
+func TestCheckMode(t *testing.T) {
+	_, cl, _ := newTestServer(t, Config{Workers: 2})
+	plain, err := cl.Color(context.Background(), easyReq(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Checks != 0 || plain.CheckPhases != nil {
+		t.Fatalf("unchecked run reported checks: %+v", plain)
+	}
+
+	req := easyReq(4)
+	req.Check = true
+	checked, err := cl.Color(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, deltacoloring.GenEasyCliqueRing(4, 16), checked)
+	if checked.Cached {
+		t.Fatal("checked run must not hit the unchecked cache entry")
+	}
+	if checked.Checks <= 0 {
+		t.Fatalf("checked run reported %d checks", checked.Checks)
+	}
+	want := map[string]bool{"final": false, "oracle": false}
+	for _, p := range checked.CheckPhases {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Fatalf("check_phases %v missing %q", checked.CheckPhases, p)
+		}
+	}
+	if !slicesEqual(plain.Colors, checked.Colors) {
+		t.Fatal("checked run not bit-identical to unchecked run")
+	}
+
+	// The query-param spelling reaches the same path.
+	body, _ := json.Marshal(easyReq(4))
+	hr, err := http.Post(cl.BaseURL+"/v1/color?check=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var qresp ColorResponse
+	if err := json.NewDecoder(hr.Body).Decode(&qresp); err != nil {
+		t.Fatal(err)
+	}
+	if qresp.State != "done" || qresp.Checks <= 0 {
+		t.Fatalf("?check=1 response: %+v", qresp)
+	}
+	if !qresp.Cached {
+		t.Fatal("second checked run of the same graph should hit the checked cache entry")
+	}
+
+	// Checked randomized runs keep their shattering stats.
+	rreq := easyReq(4)
+	rreq.Algo, rreq.Seed, rreq.Check = "rand", 3, true
+	rresp, err := cl.Color(context.Background(), rreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rresp.Shatter == nil || rresp.Checks <= 0 {
+		t.Fatalf("checked rand run: shatter=%v checks=%d", rresp.Shatter, rresp.Checks)
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestBadRequests(t *testing.T) {

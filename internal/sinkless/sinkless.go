@@ -130,13 +130,13 @@ func Verify(g *graph.Graph, o *Orientation) error {
 	for i, e := range o.Edges {
 		t := o.Tail[i]
 		if t != e.U && t != e.V {
-			return fmt.Errorf("sinkless: tail %d not an endpoint of {%d,%d}", t, e.U, e.V)
+			return fmt.Errorf("sinkless: edge (%d,%d): tail %d is not an endpoint", e.U, e.V, t)
 		}
 		hasOut[t] = true
 	}
 	for v := 0; v < g.N(); v++ {
 		if g.Degree(v) >= 3 && !hasOut[v] {
-			return fmt.Errorf("sinkless: vertex %d (degree %d) is a sink", v, g.Degree(v))
+			return fmt.Errorf("sinkless: vertex %d: sink at degree %d >= 3", v, g.Degree(v))
 		}
 	}
 	return nil
@@ -215,18 +215,21 @@ func OrientKOut(net *local.Network, k int) (*Orientation, error) {
 // VerifyKOut checks that every vertex of degree >= 3k has at least k
 // outgoing edges.
 func VerifyKOut(g *graph.Graph, o *Orientation, k int) error {
+	if len(o.Tail) != len(o.Edges) {
+		return fmt.Errorf("sinkless: %d tails for %d edges", len(o.Tail), len(o.Edges))
+	}
 	outs := make([]int, g.N())
 	for i, e := range o.Edges {
 		t := o.Tail[i]
 		if t != e.U && t != e.V {
-			return fmt.Errorf("sinkless: tail %d not an endpoint of {%d,%d}", t, e.U, e.V)
+			return fmt.Errorf("sinkless: edge (%d,%d): tail %d is not an endpoint", e.U, e.V, t)
 		}
 		outs[t]++
 	}
 	for v := 0; v < g.N(); v++ {
 		if g.Degree(v) >= 3*k && outs[v] < k {
-			return fmt.Errorf("sinkless: vertex %d (degree %d) has %d outgoing edges, want >= %d",
-				v, g.Degree(v), outs[v], k)
+			return fmt.Errorf("sinkless: vertex %d: %d outgoing edges at degree %d, want >= %d",
+				v, outs[v], g.Degree(v), k)
 		}
 	}
 	return nil

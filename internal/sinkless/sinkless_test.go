@@ -153,6 +153,56 @@ func TestOrientKOut(t *testing.T) {
 	}
 }
 
+// TestVerifyKOutBranches exercises every rejection branch of VerifyKOut:
+// tail/edge length mismatch, a tail that is not an endpoint, and a vertex of
+// degree >= 3k with fewer than k outgoing edges.
+func TestVerifyKOutBranches(t *testing.T) {
+	g := graph.Complete(7) // degree 6 = 3k for k=2: everyone participates
+	o, err := OrientKOut(local.New(g), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyKOut(g, o, 2); err != nil {
+		t.Fatalf("valid orientation rejected: %v", err)
+	}
+
+	short := &Orientation{Edges: o.Edges, Tail: o.Tail[:len(o.Tail)-1]}
+	if err := VerifyKOut(g, short, 2); err == nil {
+		t.Fatal("tail/edge length mismatch accepted")
+	}
+
+	bad := &Orientation{Edges: o.Edges, Tail: append([]int(nil), o.Tail...)}
+	bad.Tail[0] = 6
+	if bad.Edges[0].U == 6 || bad.Edges[0].V == 6 {
+		bad.Tail[0] = 5
+	}
+	if err := VerifyKOut(g, bad, 2); err == nil {
+		t.Fatal("non-endpoint tail accepted")
+	}
+
+	// Concentrate every tail on vertex 0: every other vertex has out-degree
+	// <= 1 < k while keeping degree 6 >= 3k.
+	starved := &Orientation{Edges: o.Edges, Tail: make([]int, len(o.Edges))}
+	for i, e := range o.Edges {
+		if e.U == 0 || e.V == 0 {
+			starved.Tail[i] = 0
+		} else {
+			starved.Tail[i] = e.U
+		}
+	}
+	if err := VerifyKOut(g, starved, 2); err == nil {
+		t.Fatal("under-k vertex accepted")
+	}
+
+	// VerifyTwoOut is the k=2 specialization and must agree.
+	if err := VerifyTwoOut(g, o); err != nil {
+		t.Fatalf("VerifyTwoOut rejected a valid 2-out orientation: %v", err)
+	}
+	if err := VerifyTwoOut(g, starved); err == nil {
+		t.Fatal("VerifyTwoOut accepted an under-2 orientation")
+	}
+}
+
 func TestOrientKOutRejectsBadK(t *testing.T) {
 	if _, err := OrientKOut(local.New(graph.Complete(4)), 0); err == nil {
 		t.Fatal("accepted k=0")

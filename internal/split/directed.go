@@ -48,7 +48,7 @@ func SplitDirected(net *local.Network, n int, edges []graph.Edge, eps float64) (
 	for attempt := 0; attempt < maxRetries; attempt++ {
 		net.Charge(segLen + 6 + logN)
 		tail := orientTrails(n, edges, trails, segLen, attempt)
-		if directedViolation(n, edges, tail, deg, eps) < 0 {
+		if v, _ := directedViolation(n, edges, tail, deg, eps); v < 0 {
 			return tail, nil
 		}
 	}
@@ -100,9 +100,9 @@ func startVertex(edges []graph.Edge, t trail) int {
 	return first.U
 }
 
-// directedViolation returns a violating vertex or -1 if every vertex's
-// |out - in| is at most eps*d(v)+4.
-func directedViolation(n int, edges []graph.Edge, tail []int, deg []int, eps float64) int {
+// directedViolation returns a violating vertex and its |out - in|
+// discrepancy, or (-1, 0) if every vertex is within eps*d(v)+4.
+func directedViolation(n int, edges []graph.Edge, tail []int, deg []int, eps float64) (int, int) {
 	diff := make([]int, n)
 	for e, t := range tail {
 		other := edges[e].U + edges[e].V - t
@@ -115,10 +115,10 @@ func directedViolation(n int, edges []graph.Edge, tail []int, deg []int, eps flo
 			d = -d
 		}
 		if float64(d) > eps*float64(deg[v])+4 {
-			return v
+			return v, d
 		}
 	}
-	return -1
+	return -1, 0
 }
 
 // VerifyDirected checks the Lemma 21(1)-style bound |out(v) - in(v)| <=
@@ -130,13 +130,14 @@ func VerifyDirected(n int, edges []graph.Edge, tail []int, eps float64) error {
 	deg := make([]int, n)
 	for e, t := range tail {
 		if t != edges[e].U && t != edges[e].V {
-			return fmt.Errorf("split: tail %d is not an endpoint of edge %d", t, e)
+			return fmt.Errorf("split: edge (%d,%d): tail %d is not an endpoint", edges[e].U, edges[e].V, t)
 		}
 		deg[edges[e].U]++
 		deg[edges[e].V]++
 	}
-	if v := directedViolation(n, edges, tail, deg, eps); v >= 0 {
-		return fmt.Errorf("split: vertex %d exceeds the directed discrepancy bound", v)
+	if v, d := directedViolation(n, edges, tail, deg, eps); v >= 0 {
+		return fmt.Errorf("split: vertex %d: |out-in| discrepancy %d exceeds eps*d+4 = %.2f",
+			v, d, eps*float64(deg[v])+4)
 	}
 	return nil
 }

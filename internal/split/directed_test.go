@@ -2,6 +2,7 @@ package split
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -89,6 +90,44 @@ func TestVerifyDirectedCatchesViolations(t *testing.T) {
 	bad[0] = 5 // not an endpoint of edge {0,1}
 	if err := VerifyDirected(g.N(), edges, bad, 0.9); err == nil {
 		t.Fatal("non-endpoint tail accepted")
+	}
+}
+
+// TestVerifyDirectedEpsilonBoundary pins the strictness of the Lemma 21(1)
+// bound |out(v) - in(v)| <= eps*d(v) + 4: a discrepancy exactly at the bound
+// passes, and the next reachable discrepancy above it fails. Star(8) puts
+// degree 7 on the center; with eps = 1/7 the center's bound is exactly
+// 1 + 4 = 5. Orienting o of the 7 edges outward gives discrepancy |2o - 7|,
+// so 6 outward hits the bound exactly (5) and 7 outward exceeds it (7).
+// Leaves have bound 1/7 + 4 and discrepancy 1, never violating.
+func TestVerifyDirectedEpsilonBoundary(t *testing.T) {
+	g := graph.Star(8)
+	edges := g.Edges()
+	if len(edges) != 7 {
+		t.Fatalf("Star(8) has %d edges, want 7", len(edges))
+	}
+	eps := 1.0 / 7.0
+	orient := func(outward int) []int {
+		tail := make([]int, len(edges))
+		for i, e := range edges {
+			if i < outward {
+				tail[i] = 0
+			} else {
+				tail[i] = e.U + e.V // the leaf endpoint
+			}
+		}
+		return tail
+	}
+	if err := VerifyDirected(g.N(), edges, orient(6), eps); err != nil {
+		t.Fatalf("discrepancy exactly at eps*d+4 rejected: %v", err)
+	}
+	if err := VerifyDirected(g.N(), edges, orient(7), eps); err == nil {
+		t.Fatal("discrepancy above eps*d+4 accepted")
+	}
+	// The violation names the offending vertex in the unified format.
+	err := VerifyDirected(g.N(), edges, orient(7), eps)
+	if !strings.Contains(err.Error(), "split: vertex 0:") {
+		t.Fatalf("violation does not name the center: %v", err)
 	}
 }
 

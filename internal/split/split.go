@@ -257,7 +257,7 @@ func VerifyParts(n int, edges []graph.Edge, part []int, i int, eps float64) erro
 	}
 	for e, lbl := range part {
 		if lbl < 0 || lbl >= k {
-			return fmt.Errorf("split: edge %d has part %d outside [0,%d)", e, lbl, k)
+			return fmt.Errorf("split: edge (%d,%d): part %d outside [0,%d)", edges[e].U, edges[e].V, lbl, k)
 		}
 		deg[edges[e].U]++
 		deg[edges[e].V]++
@@ -270,7 +270,7 @@ func VerifyParts(n int, edges []graph.Edge, part []int, i int, eps float64) erro
 		for p := 0; p < k; p++ {
 			got := float64(byPart[p][v])
 			if got < want-slack || got > want+slack {
-				return fmt.Errorf("split: vertex %d part %d has %d edges, want %.2f ± %.2f",
+				return fmt.Errorf("split: vertex %d: part %d has %d edges, want %.2f ± %.2f",
 					v, p, byPart[p][v], want, slack)
 			}
 		}
