@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check race chaos conformance coverage-invariant serve bench bench-smoke report report-full report-faults report-frontier fuzz clean
+.PHONY: all build vet test test-short check race chaos conformance coverage-invariant serve bench bench-smoke bench-dynamic report report-full report-faults report-frontier fuzz clean
 
 # `check` is the default CI path: vet + the full test suite under -race.
 all: build check
@@ -36,8 +36,10 @@ chaos:
 # The deltacheck conformance matrix (EXPERIMENTS.md E20, DESIGN.md §10):
 # every generator family through every pipeline with all phase checkers,
 # differential oracles, metamorphic relations, and per-phase corruption
-# controls. -quick drops the Δ=63 rejection row; `go run ./cmd/deltacheck`
-# runs the full matrix.
+# controls, plus the dynamic-graph matrix (DESIGN.md §11.6): instrumented
+# mutation streams, batch split/reorder metamorphics, and the
+# dynamic/maintain corruption control. -quick drops the Δ=63 rejection
+# row; `go run ./cmd/deltacheck` runs the full matrix.
 conformance:
 	$(GO) run -race ./cmd/deltacheck -quick
 
@@ -65,6 +67,12 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 	$(GO) run ./cmd/deltabench -bench -bench-iters 1 -bench-out /dev/null
 	$(GO) run ./cmd/deltabench -frontier -scale quick
+
+# The dynamic-maintenance benchmark (EXPERIMENTS.md E21): short mutation
+# streams with the per-batch oracle on. Drop -quick and add
+# `-out BENCH_dynamic.json` to regenerate the checked-in artifact.
+bench-dynamic:
+	$(GO) run ./cmd/deltastorm -quick
 
 # The evaluation tables of EXPERIMENTS.md (standard scale, a few minutes),
 # followed by the frontier-occupancy table E19.

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	deltacheck [-quick] [-run substr] [-workers 1,4] [-no-negative] [-v]
+//	deltacheck [-quick] [-run substr] [-workers 1,4] [-no-negative] [-no-dynamic] [-v]
 //
 // The exit status is non-zero when any suite fails. -quick drops the
 // Δ = 63 rounding-edge instance (n = 7938), which dominates the runtime
@@ -29,6 +29,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "skip the Δ=63 rounding-edge workload")
 	run := flag.String("run", "", "only run workloads whose name contains this substring")
+	noDynamic := flag.Bool("no-dynamic", false, "skip the dynamic mutation-stream suites")
 	workersFlag := flag.String("workers", "", "comma-separated worker counts for the metamorphic sweep (default 1,4,NumCPU)")
 	noNegative := flag.Bool("no-negative", false, "skip the per-phase corruption controls")
 	verbose := flag.Bool("v", false, "log per-workload progress")
@@ -64,12 +65,26 @@ func main() {
 		}
 		matrix = filtered
 	}
-	if len(matrix) == 0 {
+	dynMatrix := invariant.DynamicMatrix()
+	if *run != "" {
+		var filtered []invariant.DynamicWorkload
+		for _, w := range dynMatrix {
+			if strings.Contains(w.Name, *run) {
+				filtered = append(filtered, w)
+			}
+		}
+		dynMatrix = filtered
+	}
+	if *noDynamic {
+		dynMatrix = nil
+	}
+	if len(matrix) == 0 && len(dynMatrix) == 0 {
 		fmt.Fprintln(os.Stderr, "deltacheck: no workloads selected")
 		os.Exit(2)
 	}
 
 	results := invariant.RunMatrix(matrix, opt)
+	results = append(results, invariant.RunDynamicMatrix(dynMatrix, opt)...)
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "workload\tsuite\tstatus\tdetail")

@@ -6,8 +6,11 @@
 //
 //	deltaserved [-addr :8090] [-workers 4] [-queue 64] [-cache 256]
 //	            [-timeout 30s] [-max-timeout 5m] [-drain 30s]
+//	            [-max-graphs 16] [-mutation-queue 32]
 //
-// Endpoints: POST /v1/color, GET /v1/jobs/{id}, GET /healthz, GET /metrics.
+// Endpoints: POST /v1/color, GET /v1/jobs/{id}, the dynamic-graph surface
+// under /v1/graphs (create/list/get/delete, POST {id}/mutations,
+// GET {id}/coloring), GET /healthz, GET /metrics.
 // See README.md ("Running the service") for request examples.
 package main
 
@@ -41,16 +44,20 @@ func run(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "default per-job timeout")
 	maxTimeout := fs.Duration("max-timeout", 5*time.Minute, "cap on request-supplied timeouts")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
+	maxGraphs := fs.Int("max-graphs", 16, "cap on live dynamic graphs (creation past it answers 409)")
+	mutQueue := fs.Int("mutation-queue", 32, "per-graph mutation queue depth (full queue answers 429)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		CacheSize:          *cache,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTimeout,
+		MaxGraphs:          *maxGraphs,
+		MutationQueueDepth: *mutQueue,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -32,6 +32,7 @@ import (
 
 	"deltacoloring/internal/coloring"
 	"deltacoloring/internal/core"
+	"deltacoloring/internal/dynamic"
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/invariant"
 	"deltacoloring/internal/local"
@@ -380,6 +381,51 @@ func RepairContext(ctx context.Context, g *Graph, colors []int, opts *RunOptions
 		ExtraColorUsed: rres.ExtraColorUsed,
 		Rounds:         rres.Rounds,
 	}, nil
+}
+
+// Dynamic is a long-lived graph store with a maintained deg+1 coloring: it
+// accepts batched mutations, recolors incrementally from the batch's
+// frontier seeds when the dirty region is small, and falls back to a full
+// recompute otherwise. Every returned snapshot is a verified proper
+// coloring; see internal/dynamic and DESIGN.md §11 for the full contract
+// (valid-or-unhealthy semantics, last-known-good serving, palette bounds).
+type Dynamic = dynamic.Live
+
+// DynamicOptions tunes a Dynamic store; the zero value is usable.
+type DynamicOptions = dynamic.Options
+
+// Mutation is one entry of a dynamic mutation batch.
+type Mutation = dynamic.Mutation
+
+// MutationOp names one kind of graph mutation.
+type MutationOp = dynamic.Op
+
+// The dynamic mutation vocabulary.
+const (
+	OpAddEdge      = dynamic.OpAddEdge
+	OpRemoveEdge   = dynamic.OpRemoveEdge
+	OpAddVertex    = dynamic.OpAddVertex
+	OpRemoveVertex = dynamic.OpRemoveVertex
+)
+
+// DynamicResult reports what maintaining one mutation batch did.
+type DynamicResult = dynamic.ApplyResult
+
+// DynamicSnapshot is one immutable version of a Dynamic store.
+type DynamicSnapshot = dynamic.Snapshot
+
+// DynamicStats aggregates a Dynamic store's lifetime maintenance accounting.
+type DynamicStats = dynamic.Stats
+
+// DynamicInfo summarizes a Dynamic store's current structure and health.
+type DynamicInfo = dynamic.Info
+
+// NewDynamic creates a Dynamic store over g and colors it from scratch with
+// at most Δ+1 colors. The store is safe for concurrent use: mutation batches
+// (Apply) serialize, reads (Snapshot, Info, Stats) never wait behind an
+// in-flight recoloring.
+func NewDynamic(g *Graph, opts DynamicOptions) (*Dynamic, error) {
+	return dynamic.New(g, opts)
 }
 
 // GenHardCliqueBipartite builds the adversarial dense family where every

@@ -1,0 +1,68 @@
+package deltacoloring
+
+import (
+	"testing"
+)
+
+// The public Dynamic API end to end: create a store, mutate it through the
+// whole vocabulary, and check every version serves a verifiable coloring.
+func TestPublicDynamicAPI(t *testing.T) {
+	g := GenEasyCliqueRing(6, 8)
+	l, err := NewDynamic(g, DynamicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := l.Snapshot()
+	if !ok {
+		t.Fatal("fresh store unhealthy")
+	}
+	if err := VerifyWithin(snap.G, snap.Colors, snap.NumColors); err != nil {
+		t.Fatalf("initial coloring invalid: %v", err)
+	}
+	if snap.NumColors > g.MaxDegree()+1 {
+		t.Fatalf("initial coloring uses %d colors, want <= Δ+1 = %d", snap.NumColors, g.MaxDegree()+1)
+	}
+
+	batches := [][]Mutation{
+		{{Op: OpAddVertex}, {Op: OpAddEdge, U: 0, V: g.N()}},
+		{{Op: OpRemoveEdge, U: 0, V: g.N()}, {Op: OpRemoveVertex, U: g.N()}},
+		{{Op: OpAddEdge, U: 0, V: g.N() - 1}},
+	}
+	for i, batch := range batches {
+		res, err := l.Apply(batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		post, ok := l.Snapshot()
+		if !ok {
+			t.Fatalf("batch %d: store unhealthy", i)
+		}
+		if post.Version != res.Version {
+			t.Fatalf("batch %d: snapshot version %d, result version %d", i, post.Version, res.Version)
+		}
+		if err := VerifyWithin(post.G, post.Colors, post.NumColors); err != nil {
+			t.Fatalf("batch %d: maintained coloring invalid: %v", i, err)
+		}
+	}
+
+	stats := l.Stats()
+	if stats.Batches != int64(len(batches)) {
+		t.Fatalf("stats report %d batches, want %d", stats.Batches, len(batches))
+	}
+	info := l.Info()
+	if !info.Healthy {
+		t.Fatal("info reports unhealthy store")
+	}
+	if info.Removed != 1 {
+		t.Fatalf("info reports %d tombstones, want 1", info.Removed)
+	}
+
+	// Invalid batches are rejected atomically: the version must not move.
+	before := l.Info().Version
+	if _, err := l.Apply([]Mutation{{Op: OpAddEdge, U: 0, V: 0}}); err == nil {
+		t.Fatal("self-loop batch accepted")
+	}
+	if after := l.Info().Version; after != before {
+		t.Fatalf("rejected batch moved version %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,191 @@
+package dynamic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/faults"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// verifySnap checks a snapshot's coloring against the whole-graph oracle.
+func verifySnap(t *testing.T, snap *Snapshot) {
+	t.Helper()
+	c := coloring.Partial{Colors: append([]int(nil), snap.Colors...)}
+	if err := coloring.VerifyComplete(snap.G, &c, snap.NumColors); err != nil {
+		t.Fatalf("version %d: %v", snap.Version, err)
+	}
+}
+
+// A mutation stream under faultline plans: crash/drop/corrupt faults hit the
+// maintenance rounds themselves (the NetHook seam installs a plan on every
+// maintenance network). The valid-or-unhealthy contract: after every Apply,
+// either the store is healthy with a verified coloring, or it is unhealthy
+// and LastGood still serves the pre-batch verified snapshot — a reader can
+// never observe a maintained-but-invalid coloring.
+func TestChaosMaintenanceNeverServesInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	base := graph.ErdosRenyi(250, 0.025, rng)
+
+	var mu sync.Mutex
+	var cfg *faults.Config // nil = fault-free maintenance
+	hook := func(net *local.Network) {
+		mu.Lock()
+		c := cfg
+		mu.Unlock()
+		if c == nil {
+			return
+		}
+		p, err := faults.NewPlan(net.Graph(), *c)
+		if err != nil {
+			t.Errorf("fault plan: %v", err)
+			return
+		}
+		net.SetFaults(p)
+	}
+	setFaults := func(c *faults.Config) { mu.Lock(); cfg = c; mu.Unlock() }
+
+	l, err := New(base, Options{NetHook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures, healed := 0, 0
+	for step := 0; step < 60; step++ {
+		// Alternate fault pressure: heavy crash/drop/corrupt plans on most
+		// steps, clean windows so the store can heal.
+		if step%5 == 4 {
+			setFaults(nil)
+		} else {
+			setFaults(&faults.Config{
+				Seed: int64(step), CrashRate: 0.02, DropRate: 0.05, CorruptRate: 0.02,
+			})
+		}
+		g, _ := l.Snapshot()
+		var batch []Mutation
+		for len(batch) == 0 {
+			u, v := rng.Intn(g.G.N()), rng.Intn(g.G.N())
+			if u == v {
+				continue
+			}
+			if g.G.HasEdge(u, v) {
+				batch = []Mutation{{Op: OpRemoveEdge, U: u, V: v}}
+			} else {
+				batch = []Mutation{{Op: OpAddEdge, U: u, V: v}}
+			}
+		}
+		prevGood := l.LastGood()
+		_, err := l.Apply(batch)
+		snap, ok := l.Snapshot()
+		if err != nil {
+			failures++
+			if ok {
+				t.Fatalf("step %d: Apply failed but store reports healthy", step)
+			}
+			lg := l.LastGood()
+			if lg == nil || lg.Version != prevGood.Version {
+				t.Fatalf("step %d: failure advanced last-known-good", step)
+			}
+			verifySnap(t, lg)
+			continue
+		}
+		if !ok {
+			t.Fatalf("step %d: Apply succeeded but store unhealthy", step)
+		}
+		if failures > healed {
+			healed = failures
+		}
+		verifySnap(t, snap)
+		verifySnap(t, l.LastGood())
+	}
+	// The plans above are aggressive enough that at least one maintenance
+	// must have failed, and the clean windows must have healed it again.
+	if failures == 0 {
+		t.Fatal("chaos plans never failed a maintenance — coverage lost")
+	}
+	setFaults(nil)
+	if _, err := l.Recompute(); err != nil {
+		t.Fatal(err)
+	}
+	if snap, ok := l.Snapshot(); !ok {
+		t.Fatal("fault-free recompute did not heal the store")
+	} else {
+		verifySnap(t, snap)
+	}
+	if st := l.Stats(); st.Failures == 0 || st.Fallbacks == 0 {
+		t.Fatalf("stats did not record the chaos: %+v", st)
+	}
+}
+
+// Concurrent mutation batches on distinct stores plus interleaved reads:
+// must be race-detector clean and every store must end healthy and valid.
+func TestConcurrentStoresAndReaders(t *testing.T) {
+	const stores, batches = 4, 25
+	lives := make([]*Live, stores)
+	for i := range lives {
+		g := graph.ErdosRenyi(150, 0.03, rand.New(rand.NewSource(int64(i))))
+		l, err := New(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lives[i] = l
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, l := range lives {
+		wg.Add(1)
+		go func(l *Live) { // reader: snapshots and stats interleaved with applies
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if snap, ok := l.Snapshot(); ok && len(snap.Colors) != snap.G.N() {
+					t.Error("torn snapshot")
+					return
+				}
+				l.Stats()
+				l.Info()
+			}
+		}(l)
+	}
+	var mwg sync.WaitGroup
+	for i, l := range lives {
+		mwg.Add(1)
+		go func(i int, l *Live) { // writer: one serialized mutation stream per store
+			defer mwg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + i)))
+			for b := 0; b < batches; b++ {
+				snap, _ := l.Snapshot()
+				u, v := rng.Intn(snap.G.N()), rng.Intn(snap.G.N())
+				if u == v {
+					continue
+				}
+				var m Mutation
+				if snap.G.HasEdge(u, v) {
+					m = Mutation{Op: OpRemoveEdge, U: u, V: v}
+				} else {
+					m = Mutation{Op: OpAddEdge, U: u, V: v}
+				}
+				if _, err := l.Apply([]Mutation{m}); err != nil {
+					t.Errorf("store %d: %v", i, err)
+					return
+				}
+			}
+		}(i, l)
+	}
+	mwg.Wait()
+	close(stop)
+	wg.Wait()
+	for i, l := range lives {
+		snap, ok := l.Snapshot()
+		if !ok {
+			t.Fatalf("store %d unhealthy", i)
+		}
+		verifySnap(t, snap)
+	}
+}

@@ -1,0 +1,290 @@
+package dynamic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/graph"
+)
+
+// checkSnapshot asserts the store is healthy and its coloring passes the
+// whole-graph oracle under the snapshot's own palette bound.
+func checkSnapshot(t *testing.T, l *Live) *Snapshot {
+	t.Helper()
+	snap, ok := l.Snapshot()
+	if !ok {
+		t.Fatalf("store unhealthy at version %d", snap.Version)
+	}
+	c := coloring.Partial{Colors: append([]int(nil), snap.Colors...)}
+	if err := coloring.VerifyComplete(snap.G, &c, snap.NumColors); err != nil {
+		t.Fatalf("version %d: maintained coloring invalid: %v", snap.Version, err)
+	}
+	return snap
+}
+
+func TestNewColorsTheGraph(t *testing.T) {
+	g := graph.Torus(8, 8)
+	l, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := checkSnapshot(t, l)
+	if snap.Version != 1 || snap.NumColors > g.MaxDegree()+1 {
+		t.Fatalf("initial snapshot: %+v", snap)
+	}
+}
+
+func TestApplyIncrementalKeepsUntouchedRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.ErdosRenyi(400, 0.02, rng)
+	l, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 40; step++ {
+		before := checkSnapshot(t, l)
+		// Flip one random edge: remove an existing one or add a missing one.
+		var batch []Mutation
+		if step%2 == 0 && before.G.M() > 0 {
+			e := before.G.Edges()[rng.Intn(before.G.M())]
+			batch = []Mutation{{Op: OpRemoveEdge, U: e.U, V: e.V}}
+		} else {
+			for {
+				u, v := rng.Intn(before.G.N()), rng.Intn(before.G.N())
+				if u != v && !before.G.HasEdge(u, v) {
+					batch = []Mutation{{Op: OpAddEdge, U: u, V: v}}
+					break
+				}
+			}
+		}
+		res, err := l.Apply(batch)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		after := checkSnapshot(t, l)
+		if res.Mode != ModeIncremental {
+			t.Fatalf("step %d: single-edge batch fell back to %s", step, res.Mode)
+		}
+		// Untouched region bit-identity: only recolored vertices may change.
+		changed := 0
+		for v := 0; v < before.G.N(); v++ {
+			if after.Colors[v] != before.Colors[v] {
+				changed++
+			}
+		}
+		if changed > res.Recolored {
+			t.Fatalf("step %d: %d colors changed but only %d recolored", step, changed, res.Recolored)
+		}
+	}
+	st := l.Stats()
+	if st.Batches != 40 || st.Incremental != 40 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestApplyVertexLifecycle(t *testing.T) {
+	g := graph.Cycle(10)
+	l, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a vertex and wire it into the cycle.
+	res, err := l.Apply([]Mutation{
+		{Op: OpAddVertex},
+		{Op: OpAddEdge, U: 0, V: 10},
+		{Op: OpAddEdge, U: 5, V: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := checkSnapshot(t, l)
+	if snap.G.N() != 11 || !snap.G.HasEdge(0, 10) {
+		t.Fatalf("vertex append not applied: %v", snap.G)
+	}
+	if res.Touched < 3 {
+		t.Fatalf("touched %d, want >= 3", res.Touched)
+	}
+	// Tombstone it again: slot stays, edges go.
+	if _, err := l.Apply([]Mutation{{Op: OpRemoveVertex, U: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	snap = checkSnapshot(t, l)
+	if snap.G.N() != 11 || snap.G.Degree(10) != 0 {
+		t.Fatalf("tombstone kept edges: %v", snap.G)
+	}
+	if l.Info().Removed != 1 {
+		t.Fatalf("info: %+v", l.Info())
+	}
+	// The tombstoned slot rejects further mutations.
+	if _, err := l.Apply([]Mutation{{Op: OpAddEdge, U: 10, V: 3}}); err == nil ||
+		!strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("tombstoned vertex accepted an edge: %v", err)
+	}
+}
+
+func TestApplyRejectionLeavesStateUnchanged(t *testing.T) {
+	g := graph.Cycle(8)
+	l, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := checkSnapshot(t, l)
+	cases := [][]Mutation{
+		nil,
+		{{Op: OpAddEdge, U: 0, V: 1}},    // already present
+		{{Op: OpRemoveEdge, U: 0, V: 4}}, // not present
+		{{Op: OpAddEdge, U: 2, V: 2}},    // self-loop
+		{{Op: OpAddEdge, U: 0, V: 99}},   // out of range
+		{{Op: Op("recolor"), U: 0}},      // unknown op
+		{{Op: OpAddEdge, U: 0, V: 2}, {Op: OpRemoveEdge, U: 0, V: 2}}, // add+remove
+		{{Op: OpAddVertex}, {Op: OpRemoveVertex, U: 8}},               // remove appended
+		{{Op: OpAddEdge, U: 0, V: 2}, {Op: OpRemoveVertex, U: 0}},     // remove wired
+	}
+	for i, batch := range cases {
+		if _, err := l.Apply(batch); err == nil {
+			t.Fatalf("case %d: invalid batch accepted", i)
+		}
+	}
+	after := checkSnapshot(t, l)
+	if after.Version != before.Version {
+		t.Fatalf("rejected batches advanced the version: %d -> %d", before.Version, after.Version)
+	}
+}
+
+// The incremental→recompute boundary: a batch touching at most the dirty
+// fraction stays incremental; one more touched vertex falls back.
+func TestFallbackDirtyFractionBoundary(t *testing.T) {
+	g := graph.Cycle(40)
+	l, err := New(g, Options{FallbackDirtyFraction: 0.2}) // 8 of 40 vertices
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 disjoint chords touch exactly 8 vertices: incremental.
+	res, err := l.Apply([]Mutation{
+		{Op: OpAddEdge, U: 0, V: 10}, {Op: OpAddEdge, U: 2, V: 12},
+		{Op: OpAddEdge, U: 4, V: 14}, {Op: OpAddEdge, U: 6, V: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeIncremental || res.Touched != 8 {
+		t.Fatalf("at-threshold batch: %+v", res)
+	}
+	checkSnapshot(t, l)
+	// 5 disjoint chords touch 10 > 8 vertices: recompute.
+	res, err = l.Apply([]Mutation{
+		{Op: OpAddEdge, U: 20, V: 30}, {Op: OpAddEdge, U: 22, V: 32},
+		{Op: OpAddEdge, U: 24, V: 34}, {Op: OpAddEdge, U: 26, V: 36},
+		{Op: OpAddEdge, U: 28, V: 38},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeRecompute || res.Fallback {
+		t.Fatalf("over-threshold batch: %+v", res)
+	}
+	checkSnapshot(t, l)
+}
+
+// Degree growth past the tracked palette mid-stream: splicing a hub into a
+// low-Δ graph must raise the bound from the current snapshot's Δ (the
+// repair palette fix) instead of failing, and a later Δ drop must trigger
+// the palette-compaction recompute.
+func TestDegreeGrowthAndPaletteCompaction(t *testing.T) {
+	g := graph.Cycle(30)
+	l, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []Mutation{{Op: OpAddVertex}}
+	for v := 0; v < 6; v++ {
+		batch = append(batch, Mutation{Op: OpAddEdge, U: 5 * v, V: 30})
+	}
+	res, err := l.Apply(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := checkSnapshot(t, l)
+	if snap.G.MaxDegree() != 6 {
+		t.Fatalf("hub degree %d, want 6", snap.G.MaxDegree())
+	}
+	if res.NumColors > snap.G.MaxDegree()+1 {
+		t.Fatalf("palette %d exceeds Δ+1=%d", res.NumColors, snap.G.MaxDegree()+1)
+	}
+	// Force the tracked palette above Δ'+1 by tombstoning the hub: Δ drops
+	// back to 2 while numColors may exceed 3 — the next batch must compact
+	// via recompute when it does.
+	if _, err := l.Apply([]Mutation{{Op: OpRemoveVertex, U: 30}}); err != nil {
+		t.Fatal(err)
+	}
+	snap = checkSnapshot(t, l)
+	res, err = l.Apply([]Mutation{{Op: OpRemoveEdge, U: 10, V: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := checkSnapshot(t, l)
+	if snap.NumColors > snap.G.MaxDegree()+1 && res.Mode != ModeRecompute {
+		t.Fatalf("palette %d > Δ+1=%d not compacted: %+v", snap.NumColors, snap.G.MaxDegree()+1, res)
+	}
+	if after.NumColors > after.G.MaxDegree()+1 {
+		t.Fatalf("compaction left %d colors for Δ=%d", after.NumColors, after.G.MaxDegree())
+	}
+}
+
+// Metamorphic: a batch of independent (pairwise far-apart) mutations yields
+// the same coloring whether applied in one batch, reordered, or split.
+func TestMetamorphicSplitReorder(t *testing.T) {
+	build := func() *Live {
+		l, err := New(graph.Torus(12, 12), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	// Three edge removals in distant rows of the torus: independent, no Δ
+	// change, all incremental.
+	muts := []Mutation{
+		{Op: OpRemoveEdge, U: 0, V: 1},
+		{Op: OpRemoveEdge, U: 60, V: 61},
+		{Op: OpRemoveEdge, U: 100, V: 101},
+	}
+	apply := func(l *Live, batches [][]Mutation) []int {
+		for _, b := range batches {
+			res, err := l.Apply(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Mode != ModeIncremental {
+				t.Fatalf("metamorphic batch fell back: %+v", res)
+			}
+		}
+		return checkSnapshot(t, l).Colors
+	}
+	oneBatch := apply(build(), [][]Mutation{muts})
+	reordered := apply(build(), [][]Mutation{{muts[2], muts[0], muts[1]}})
+	split := apply(build(), [][]Mutation{{muts[0]}, {muts[1]}, {muts[2]}})
+	for v := range oneBatch {
+		if oneBatch[v] != reordered[v] || oneBatch[v] != split[v] {
+			t.Fatalf("vertex %d: one=%d reordered=%d split=%d",
+				v, oneBatch[v], reordered[v], split[v])
+		}
+	}
+}
+
+func TestRecomputeCompactsAndHeals(t *testing.T) {
+	g := graph.ErdosRenyi(200, 0.03, rand.New(rand.NewSource(3)))
+	l, err := New(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Recompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := checkSnapshot(t, l)
+	if res.Mode != ModeRecompute || snap.NumColors > g.MaxDegree()+1 {
+		t.Fatalf("recompute: %+v, palette %d", res, snap.NumColors)
+	}
+}

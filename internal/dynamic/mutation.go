@@ -1,0 +1,170 @@
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	"deltacoloring/internal/graph"
+)
+
+// Op names one kind of graph mutation.
+type Op string
+
+// The mutation vocabulary of the dynamic layer. Vertices are append-only at
+// the CSR level: removing a vertex removes its incident edges and tombstones
+// the slot (see internal/graph.ApplyEdits), so colorings keep one entry per
+// slot and untouched regions stay bit-identical across batches.
+const (
+	OpAddEdge      Op = "add_edge"
+	OpRemoveEdge   Op = "remove_edge"
+	OpAddVertex    Op = "add_vertex"
+	OpRemoveVertex Op = "remove_vertex"
+)
+
+// Mutation is one entry of a mutation batch. U and V are vertex indices;
+// add_vertex ignores both (the new vertex gets the next free index),
+// remove_vertex uses only U.
+type Mutation struct {
+	Op Op  `json:"op"`
+	U  int `json:"u,omitempty"`
+	V  int `json:"v,omitempty"`
+}
+
+// batchPlan is a validated mutation batch lowered to the strict edit lists
+// graph.ApplyEdits consumes, plus the bookkeeping the maintenance path needs.
+type batchPlan struct {
+	newN    int
+	add     []graph.Edge
+	remove  []graph.Edge
+	added   []int // appended vertex slots, ascending
+	removed []int // tombstoned vertex slots, ascending
+	// touched lists every vertex whose closed neighborhood the batch can
+	// have damaged: endpoints of edited edges, appended slots, tombstoned
+	// slots. Ascending; these are the frontier seeds for DetectSeeded.
+	touched []int
+}
+
+// planBatch validates batch against the current graph (with its tombstone
+// set) and lowers it to a batchPlan. Batches are strict and unambiguous —
+// the same rules graph.ApplyEdits enforces, applied sequentially so later
+// mutations see the effect of earlier ones in the same batch:
+//
+//   - added edges must be absent (in the batch-local view), removed edges
+//     present; an edge cannot be both added and removed in one batch;
+//   - endpoints must exist: in range, not tombstoned, not removed earlier
+//     in the batch;
+//   - remove_vertex tombstones an original vertex and removes its incident
+//     edges; it rejects vertices appended or connected by the same batch.
+//
+// Strictness is what makes batch split/reorder metamorphic checks meaningful:
+// an accepted batch has exactly one possible effect.
+func planBatch(g *graph.Graph, tombstoned []bool, batch []Mutation) (*batchPlan, error) {
+	n := g.N()
+	p := &batchPlan{newN: n}
+	edgeDelta := make(map[graph.Edge]int) // +1 batch-added, -1 batch-removed
+	removedNow := make(map[int]bool)
+	touched := make(map[int]bool)
+	norm := func(u, v int) graph.Edge {
+		if u > v {
+			u, v = v, u
+		}
+		return graph.Edge{U: u, V: v}
+	}
+	exists := func(v int) bool {
+		if v < 0 || v >= p.newN {
+			return false
+		}
+		return v >= n || (!tombstoned[v] && !removedNow[v])
+	}
+	present := func(e graph.Edge) bool {
+		if d, ok := edgeDelta[e]; ok {
+			return d > 0
+		}
+		return e.V < n && g.HasEdge(e.U, e.V)
+	}
+	for i, m := range batch {
+		switch m.Op {
+		case OpAddVertex:
+			v := p.newN
+			p.newN++
+			p.added = append(p.added, v)
+			touched[v] = true
+		case OpAddEdge, OpRemoveEdge:
+			if m.U == m.V {
+				return nil, fmt.Errorf("dynamic: mutation %d: self-loop at vertex %d", i, m.U)
+			}
+			if !exists(m.U) {
+				return nil, fmt.Errorf("dynamic: mutation %d: vertex %d does not exist", i, m.U)
+			}
+			if !exists(m.V) {
+				return nil, fmt.Errorf("dynamic: mutation %d: vertex %d does not exist", i, m.V)
+			}
+			e := norm(m.U, m.V)
+			d, edited := edgeDelta[e]
+			if m.Op == OpAddEdge {
+				if present(e) {
+					return nil, fmt.Errorf("dynamic: mutation %d: edge {%d,%d} already present", i, e.U, e.V)
+				}
+				if edited && d < 0 {
+					return nil, fmt.Errorf("dynamic: mutation %d: edge {%d,%d} both removed and added in one batch", i, e.U, e.V)
+				}
+				edgeDelta[e] = 1
+			} else {
+				if !present(e) {
+					return nil, fmt.Errorf("dynamic: mutation %d: edge {%d,%d} not present", i, e.U, e.V)
+				}
+				if edited && d > 0 {
+					return nil, fmt.Errorf("dynamic: mutation %d: edge {%d,%d} both added and removed in one batch", i, e.U, e.V)
+				}
+				edgeDelta[e] = -1
+			}
+			touched[e.U], touched[e.V] = true, true
+		case OpRemoveVertex:
+			u := m.U
+			if !exists(u) {
+				return nil, fmt.Errorf("dynamic: mutation %d: vertex %d does not exist", i, u)
+			}
+			if u >= n {
+				return nil, fmt.Errorf("dynamic: mutation %d: vertex %d was appended by this batch", i, u)
+			}
+			for e, d := range edgeDelta {
+				if d > 0 && (e.U == u || e.V == u) {
+					return nil, fmt.Errorf("dynamic: mutation %d: vertex %d has edges added in the same batch", i, u)
+				}
+			}
+			for _, w := range g.Neighbors(u) {
+				e := norm(u, int(w))
+				edgeDelta[e] = -1
+				touched[int(w)] = true
+			}
+			removedNow[u] = true
+			p.removed = append(p.removed, u)
+			touched[u] = true
+		default:
+			return nil, fmt.Errorf("dynamic: mutation %d: unknown op %q", i, m.Op)
+		}
+	}
+	for e, d := range edgeDelta {
+		if d > 0 {
+			p.add = append(p.add, e)
+		} else {
+			p.remove = append(p.remove, e)
+		}
+	}
+	sortEdges(p.add)
+	sortEdges(p.remove)
+	for v := range touched {
+		p.touched = append(p.touched, v)
+	}
+	sort.Ints(p.touched)
+	return p, nil
+}
+
+func sortEdges(es []graph.Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+}

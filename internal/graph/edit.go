@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// ApplyEdits derives a new immutable graph from g by applying one batch of
+// structural edits: newN-g.N() appended vertices, the `add` edges inserted,
+// and the `remove` edges deleted. It is the mutation-aware CSR path behind
+// internal/dynamic: instead of re-running the counting-sort Builder over all
+// m edges, the old CSR is merged with per-vertex sorted edit runs in a
+// single linear pass, so one batch costs O(n + m + |edits| log |edits|) with
+// two edge-array-sized allocations and no per-vertex slices.
+//
+// The edit semantics are strict, because the dynamic layer's conformance
+// contract (batch split/reorder invariance) needs batches to be unambiguous:
+//
+//   - every added edge must be absent from g (and not duplicated in add),
+//   - every removed edge must be present in g (and not duplicated in remove),
+//   - no edge may appear in both add and remove,
+//   - endpoints must lie in [0, newN), with no self-loops.
+//
+// Vertices are append-only: newN must be >= g.N(), and the appended vertices
+// get fresh IDs above the current maximum so uniqueness is preserved even on
+// ID-permuted graphs. Vertex removal is expressed by removing the vertex's
+// incident edges (the dynamic layer tombstones the isolated slot).
+func ApplyEdits(g *Graph, newN int, add, remove []Edge) (*Graph, error) {
+	n := g.N()
+	if newN < n {
+		return nil, fmt.Errorf("graph: ApplyEdits shrinks n from %d to %d (vertices are append-only)", n, newN)
+	}
+	if newN > MaxN {
+		return nil, fmt.Errorf("graph: vertex count %d out of range [0, %d]", newN, MaxN)
+	}
+	normalize := func(kind string, es []Edge) ([]Edge, error) {
+		out := make([]Edge, len(es))
+		for i, e := range es {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			if u < 0 || v >= newN {
+				return nil, fmt.Errorf("graph: %s edge {%d,%d} out of range [0,%d)", kind, e.U, e.V, newN)
+			}
+			if u == v {
+				return nil, fmt.Errorf("graph: %s self-loop at %d", kind, u)
+			}
+			out[i] = Edge{U: u, V: v}
+		}
+		slices.SortFunc(out, func(a, b Edge) int {
+			if a.U != b.U {
+				return a.U - b.U
+			}
+			return a.V - b.V
+		})
+		for i := 1; i < len(out); i++ {
+			if out[i] == out[i-1] {
+				return nil, fmt.Errorf("graph: duplicate %s edge {%d,%d}", kind, out[i].U, out[i].V)
+			}
+		}
+		return out, nil
+	}
+	add, err := normalize("added", add)
+	if err != nil {
+		return nil, err
+	}
+	remove, err = normalize("removed", remove)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := 0, 0; i < len(add) && j < len(remove); {
+		switch {
+		case add[i] == remove[j]:
+			return nil, fmt.Errorf("graph: edge {%d,%d} both added and removed", add[i].U, add[i].V)
+		case add[i].U < remove[j].U || (add[i].U == remove[j].U && add[i].V < remove[j].V):
+			i++
+		default:
+			j++
+		}
+	}
+	for _, e := range add {
+		if e.V < n && g.HasEdge(e.U, e.V) {
+			return nil, fmt.Errorf("graph: added edge {%d,%d} already present", e.U, e.V)
+		}
+	}
+	for _, e := range remove {
+		if e.V >= n || !g.HasEdge(e.U, e.V) {
+			return nil, fmt.Errorf("graph: removed edge {%d,%d} not present", e.U, e.V)
+		}
+	}
+
+	// Bucket the half-edges of both edit lists per vertex (counting sort,
+	// exactly like the Builder), then sort each tiny run once.
+	addRuns, err := halfEdgeRuns(newN, add)
+	if err != nil {
+		return nil, err
+	}
+	remRuns, err := halfEdgeRuns(newN, remove)
+	if err != nil {
+		return nil, err
+	}
+
+	offsets := make([]int32, newN+1)
+	edges := make([]int32, len(g.edges)+2*len(add)-2*len(remove))
+	var w int32
+	for v := 0; v < newN; v++ {
+		offsets[v] = w
+		var old []int32
+		if v < n {
+			old = g.Neighbors(v)
+		}
+		adds, rems := addRuns.run(v), remRuns.run(v)
+		// Three-way merge: old minus rems, interleaved with adds, both sorted.
+		i, j, k := 0, 0, 0
+		for i < len(old) || j < len(adds) {
+			var next int32
+			fromOld := false
+			switch {
+			case j >= len(adds) || (i < len(old) && old[i] < adds[j]):
+				next, fromOld = old[i], true
+			default:
+				next = adds[j]
+			}
+			if fromOld {
+				i++
+				if k < len(rems) && rems[k] == next {
+					k++
+					continue
+				}
+			} else {
+				j++
+			}
+			edges[w] = next
+			w++
+		}
+		if k != len(rems) {
+			// Unreachable after the presence pre-checks; guard against drift.
+			return nil, fmt.Errorf("graph: removed edge at vertex %d not present", v)
+		}
+	}
+	offsets[newN] = w
+	if int(w) != len(edges) {
+		return nil, fmt.Errorf("graph: edit merge wrote %d half-edges, expected %d", w, len(edges))
+	}
+
+	ids := make([]uint64, newN)
+	copy(ids, g.ids)
+	if newN > n {
+		maxID := uint64(0)
+		for _, id := range g.ids {
+			if id > maxID {
+				maxID = id
+			}
+		}
+		for v := n; v < newN; v++ {
+			maxID++
+			ids[v] = maxID
+		}
+	}
+	return fromCSR(offsets, edges, ids), nil
+}
+
+// edgeRuns is a CSR-shaped bucketing of edit half-edges: the neighbors that
+// a batch adds to (or removes from) each vertex, sorted per vertex.
+type edgeRuns struct {
+	off  []int32
+	half []int32
+}
+
+func (r edgeRuns) run(v int) []int32 {
+	if r.half == nil {
+		return nil
+	}
+	return r.half[r.off[v]:r.off[v+1]]
+}
+
+func halfEdgeRuns(n int, es []Edge) (edgeRuns, error) {
+	if len(es) == 0 {
+		return edgeRuns{}, nil
+	}
+	off := make([]int32, n+1)
+	for _, e := range es {
+		off[e.U+1]++
+		off[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	half := make([]int32, 2*len(es))
+	cursor := make([]int32, n)
+	copy(cursor, off[:n])
+	for _, e := range es {
+		half[cursor[e.U]] = int32(e.V)
+		cursor[e.U]++
+		half[cursor[e.V]] = int32(e.U)
+		cursor[e.V]++
+	}
+	lo := int32(0)
+	for v := 0; v < n; v++ {
+		hi := off[v+1]
+		run := half[lo:hi]
+		slices.Sort(run)
+		for i := 1; i < len(run); i++ {
+			if run[i] == run[i-1] {
+				return edgeRuns{}, fmt.Errorf("graph: duplicate edit edge {%d,%d}", v, run[i])
+			}
+		}
+		lo = hi
+	}
+	return edgeRuns{off: off, half: half}, nil
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// rebuildWith is the differential oracle for ApplyEdits: reconstruct the
+// expected graph from scratch through the Builder.
+func rebuildWith(t *testing.T, g *Graph, newN int, add, remove []Edge) *Graph {
+	t.Helper()
+	drop := map[Edge]bool{}
+	for _, e := range remove {
+		if e.U > e.V {
+			e.U, e.V = e.V, e.U
+		}
+		drop[e] = true
+	}
+	b := NewBuilder(newN)
+	for _, e := range g.Edges() {
+		if !drop[e] {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	for _, e := range add {
+		b.AddEdge(e.U, e.V)
+	}
+	out, err := b.Build()
+	if err != nil {
+		t.Fatalf("oracle rebuild: %v", err)
+	}
+	return out
+}
+
+func sameStructure(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for v := 0; v < want.N(); v++ {
+		gn, wn := got.Neighbors(v), want.Neighbors(v)
+		if len(gn) != len(wn) {
+			t.Fatalf("vertex %d: degree %d, want %d", v, len(gn), len(wn))
+		}
+		for i := range gn {
+			if gn[i] != wn[i] {
+				t.Fatalf("vertex %d: neighbors %v, want %v", v, gn, wn)
+			}
+		}
+	}
+}
+
+func TestApplyEditsBasic(t *testing.T) {
+	g := Cycle(6)
+	g2, err := ApplyEdits(g, 8, []Edge{{U: 0, V: 3}, {U: 6, V: 7}, {U: 2, V: 6}}, []Edge{{U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sameStructure(t, g2, rebuildWith(t, g, 8,
+		[]Edge{{U: 0, V: 3}, {U: 6, V: 7}, {U: 2, V: 6}}, []Edge{{U: 1, V: 2}}))
+	// The original is untouched.
+	if g.N() != 6 || g.M() != 6 || g.HasEdge(0, 3) {
+		t.Fatalf("ApplyEdits mutated its input: %v", g)
+	}
+	// Appended vertices carry fresh unique IDs.
+	if g2.ID(6) == g2.ID(7) || g2.ID(6) <= g.ID(5) {
+		t.Fatalf("appended IDs not fresh: %d, %d", g2.ID(6), g2.ID(7))
+	}
+}
+
+func TestApplyEditsRejections(t *testing.T) {
+	g := Cycle(6)
+	cases := []struct {
+		name    string
+		newN    int
+		add     []Edge
+		remove  []Edge
+		wantErr string
+	}{
+		{"shrink", 5, nil, nil, "append-only"},
+		{"add-existing", 6, []Edge{{U: 0, V: 1}}, nil, "already present"},
+		{"add-dup", 7, []Edge{{U: 0, V: 6}, {U: 6, V: 0}}, nil, "duplicate added"},
+		{"add-self-loop", 6, []Edge{{U: 3, V: 3}}, nil, "self-loop"},
+		{"add-out-of-range", 6, []Edge{{U: 0, V: 6}}, nil, "out of range"},
+		{"remove-missing", 6, nil, []Edge{{U: 0, V: 3}}, "not present"},
+		{"remove-dup", 6, nil, []Edge{{U: 0, V: 1}, {U: 1, V: 0}}, "duplicate removed"},
+		{"add-and-remove", 6, []Edge{{U: 0, V: 2}}, []Edge{{U: 0, V: 2}}, "both added and removed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ApplyEdits(g, tc.newN, tc.add, tc.remove)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+// Random edit batches against the Builder oracle, including growth and
+// removal down to the empty graph.
+func TestApplyEditsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := RandomRegular(40, 6, rng)
+	for step := 0; step < 30; step++ {
+		n := g.N()
+		newN := n + rng.Intn(3)
+		var add, remove []Edge
+		seen := map[Edge]bool{}
+		for _, e := range g.Edges() {
+			if rng.Intn(8) == 0 {
+				remove = append(remove, e)
+			}
+		}
+		for tries := 0; tries < 10; tries++ {
+			u, v := rng.Intn(newN), rng.Intn(newN)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			e := Edge{U: u, V: v}
+			if seen[e] || (v < n && g.HasEdge(u, v)) {
+				continue
+			}
+			seen[e] = true
+			add = append(add, e)
+		}
+		got, err := ApplyEdits(g, newN, add, remove)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		sameStructure(t, got, rebuildWith(t, g, newN, add, remove))
+		g = got
+	}
+}

@@ -1,0 +1,382 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"deltacoloring/internal/dynamic"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// DynamicWorkload is one row of the dynamic-maintenance conformance matrix:
+// a starting graph and a seeded mutation stream driven against a
+// dynamic.Live store with the harness attached to every maintenance network.
+type DynamicWorkload struct {
+	Name  string
+	Graph *graph.Graph
+	Seed  int64
+	// Batches is the stream length; BatchSize the edge flips per batch.
+	Batches, BatchSize int
+}
+
+// DynamicMatrix returns the standing dynamic conformance rows: sparse and
+// structured families under sustained seeded mutation streams.
+func DynamicMatrix() []DynamicWorkload {
+	ring, _ := graph.EasyCliqueRing(6, 8)
+	return []DynamicWorkload{
+		{Name: "dyn-erdos", Graph: graph.ErdosRenyi(300, 0.02, rand.New(rand.NewSource(41))), Seed: 41, Batches: 30, BatchSize: 3},
+		{Name: "dyn-torus", Graph: graph.Torus(14, 14), Seed: 42, Batches: 30, BatchSize: 2},
+		{Name: "dyn-ring", Graph: ring, Seed: 43, Batches: 20, BatchSize: 2},
+	}
+}
+
+// RunDynamicMatrix executes the dynamic suites on every workload: the
+// instrumented mutation stream (after every applied batch the maintained
+// coloring passes the sequential proper-coloring oracle, incremental batches
+// change colors only inside the touched 2-hop locality, and the harness
+// observes every dynamic/maintain checkpoint), the batch split/reorder
+// metamorphic relation, and the checkpoint corruption control.
+func RunDynamicMatrix(ws []DynamicWorkload, opt Options) []WorkloadResult {
+	results := make([]WorkloadResult, 0, len(ws))
+	for _, w := range ws {
+		opt.logf("dynamic workload %s: n=%d Δ=%d", w.Name, w.Graph.N(), w.Graph.MaxDegree())
+		r := WorkloadResult{Name: w.Name}
+		r.Suites = append(r.Suites, dynamicStreamSuite(w), dynamicMetamorphicSuite(w))
+		if !opt.SkipNegative {
+			r.Suites = append(r.Suites, dynamicNegativeSuite(w))
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// dynLiveWithHarness builds a store whose every maintenance network gets a
+// fresh attachment of the shared harness.
+func dynLiveWithHarness(g *graph.Graph, h *Harness, opts dynamic.Options) (*dynamic.Live, error) {
+	opts.NetHook = func(net *local.Network) { h.Attach(net) }
+	return dynamic.New(g, opts)
+}
+
+// randomBatch builds one valid batch of size edge flips against snap,
+// never proposing the same vertex pair twice.
+func randomBatch(rng *rand.Rand, snap *dynamic.Snapshot, tombstoned map[int]bool, size int) []dynamic.Mutation {
+	var batch []dynamic.Mutation
+	used := map[[2]int]bool{}
+	for len(batch) < size {
+		u, v := rng.Intn(snap.G.N()), rng.Intn(snap.G.N())
+		if u == v || tombstoned[u] || tombstoned[v] {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if used[[2]int{u, v}] {
+			continue
+		}
+		used[[2]int{u, v}] = true
+		op := dynamic.OpAddEdge
+		if snap.G.HasEdge(u, v) {
+			op = dynamic.OpRemoveEdge
+		}
+		batch = append(batch, dynamic.Mutation{Op: op, U: u, V: v})
+	}
+	return batch
+}
+
+// batchSeeds lists the vertices a batch touches, in pre-batch indexing plus
+// appended slots; for vertex removals it includes the pre-batch neighbors.
+func batchSeeds(pre *dynamic.Snapshot, batch []dynamic.Mutation) []int {
+	seen := map[int]bool{}
+	next := pre.G.N()
+	for _, m := range batch {
+		switch m.Op {
+		case dynamic.OpAddVertex:
+			seen[next] = true
+			next++
+		case dynamic.OpAddEdge, dynamic.OpRemoveEdge:
+			seen[m.U], seen[m.V] = true, true
+		case dynamic.OpRemoveVertex:
+			seen[m.U] = true
+			for _, w := range pre.G.Neighbors(m.U) {
+				seen[int(w)] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	return out
+}
+
+// ball marks every vertex within the given hop radius of the seeds.
+func ball(g *graph.Graph, seeds []int, radius int) []bool {
+	in := make([]bool, g.N())
+	frontier := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s < g.N() && !in[s] {
+			in[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for hop := 0; hop < radius; hop++ {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if !in[w] {
+					in[w] = true
+					next = append(next, int(w))
+				}
+			}
+		}
+		frontier = next
+	}
+	return in
+}
+
+// dynamicStreamSuite drives the seeded mutation stream. After every applied
+// batch: the maintained coloring passes the sequential oracle under the
+// snapshot's own palette bound; on the incremental path the untouched region
+// is bit-identical to the pre-batch snapshot (changes confined to the
+// touched 2-hop ball, counted against ApplyResult.Recolored); and the
+// harness must have consumed a dynamic/maintain checkpoint per batch.
+func dynamicStreamSuite(w DynamicWorkload) SuiteResult {
+	s := SuiteResult{Suite: "stream"}
+	rng := rand.New(rand.NewSource(w.Seed))
+	h := NewHarness(w.Graph)
+	l, err := dynLiveWithHarness(w.Graph, h, dynamic.Options{})
+	if err != nil {
+		s.Err = err
+		return s
+	}
+	tombstoned := map[int]bool{}
+	incremental := 0
+	for b := 0; b < w.Batches; b++ {
+		pre, ok := l.Snapshot()
+		if !ok {
+			s.Err = fmt.Errorf("batch %d: store unhealthy", b)
+			return s
+		}
+		var batch []dynamic.Mutation
+		switch {
+		case b%7 == 6:
+			// Append a vertex and wire it to two random live vertices.
+			nv := pre.G.N()
+			batch = append(batch, dynamic.Mutation{Op: dynamic.OpAddVertex})
+			for len(batch) < 3 {
+				u := rng.Intn(nv)
+				if !tombstoned[u] && !containsMut(batch, u, nv) {
+					batch = append(batch, dynamic.Mutation{Op: dynamic.OpAddEdge, U: u, V: nv})
+				}
+			}
+		case b%10 == 9:
+			// Tombstone one live vertex (a pure vertex-removal batch).
+			for {
+				u := rng.Intn(pre.G.N())
+				if !tombstoned[u] {
+					tombstoned[u] = true
+					batch = []dynamic.Mutation{{Op: dynamic.OpRemoveVertex, U: u}}
+					break
+				}
+			}
+		default:
+			batch = randomBatch(rng, pre, tombstoned, w.BatchSize)
+		}
+		res, err := l.Apply(batch)
+		if err != nil {
+			s.Err = fmt.Errorf("batch %d: %w", b, err)
+			return s
+		}
+		post, ok := l.Snapshot()
+		if !ok {
+			s.Err = fmt.Errorf("batch %d: applied but unhealthy", b)
+			return s
+		}
+		if err := ReferenceComplete(post.G, post.Colors, post.NumColors); err != nil {
+			s.Err = fmt.Errorf("batch %d: oracle: %w", b, err)
+			return s
+		}
+		if res.Mode == dynamic.ModeIncremental {
+			incremental++
+			in := ball(post.G, batchSeeds(pre, batch), 2)
+			changed := 0
+			for v := 0; v < pre.G.N(); v++ {
+				if post.Colors[v] != pre.Colors[v] {
+					changed++
+					if !in[v] {
+						s.Err = fmt.Errorf("batch %d: untouched vertex %d changed color", b, v)
+						return s
+					}
+				}
+			}
+			if changed > res.Recolored {
+				s.Err = fmt.Errorf("batch %d: %d colors changed, %d recolored", b, changed, res.Recolored)
+				return s
+			}
+		}
+	}
+	// One checkpoint per maintenance (initial coloring included).
+	if h.Checks() < w.Batches+1 {
+		s.Err = fmt.Errorf("harness observed %d checks for %d batches", h.Checks(), w.Batches)
+		return s
+	}
+	if !contains(h.Phases(), "dynamic/maintain") {
+		s.Err = fmt.Errorf("no dynamic/maintain checkpoint (phases %v)", h.Phases())
+		return s
+	}
+	s.Detail = fmt.Sprintf("%d batches (%d incremental), %d checks", w.Batches, incremental, h.Checks())
+	return s
+}
+
+func containsMut(batch []dynamic.Mutation, u, v int) bool {
+	for _, m := range batch {
+		if m.Op == dynamic.OpAddEdge && m.U == u && m.V == v {
+			return true
+		}
+	}
+	return false
+}
+
+// dynamicMetamorphicSuite asserts batch split/reorder invariance: a set of
+// independent mutations — pairwise far apart, none incident to a max-degree
+// vertex so the palette bound cannot shift — yields the bit-identical
+// coloring whether applied as one batch, reordered, or one per batch.
+func dynamicMetamorphicSuite(w DynamicWorkload) SuiteResult {
+	s := SuiteResult{Suite: "metamorphic"}
+	g := w.Graph
+	delta := g.MaxDegree()
+	// Greedily pick existing edges whose endpoints are > 5 hops apart so the
+	// recolor regions (≤ 2 hops) and their neighbor views (≤ 3 hops) cannot
+	// interact.
+	var muts []dynamic.Mutation
+	blocked := make([]bool, g.N())
+	picked := make([]bool, g.N())
+	for _, e := range g.Edges() {
+		if len(muts) == 3 {
+			break
+		}
+		if blocked[e.U] || blocked[e.V] {
+			continue
+		}
+		muts = append(muts, dynamic.Mutation{Op: dynamic.OpRemoveEdge, U: e.U, V: e.V})
+		picked[e.U], picked[e.V] = true, true
+		for v, in := range ball(g, []int{e.U, e.V}, 5) {
+			if in {
+				blocked[v] = true
+			}
+		}
+	}
+	// The removals must not shift the palette bound: some max-degree vertex
+	// has to survive untouched, else the Δ-drop could flip maintenance modes
+	// between application orders.
+	deltaSurvives := false
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == delta && !picked[v] {
+			deltaSurvives = true
+			break
+		}
+	}
+	if len(muts) < 2 || !deltaSurvives {
+		s.Detail = "no independent mutation set on this family"
+		return s
+	}
+	apply := func(batches [][]dynamic.Mutation) ([]int, error) {
+		l, err := dynamic.New(g, dynamic.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range batches {
+			res, err := l.Apply(b)
+			if err != nil {
+				return nil, err
+			}
+			if res.Mode != dynamic.ModeIncremental {
+				return nil, fmt.Errorf("independent batch fell back to %s", res.Mode)
+			}
+		}
+		snap, ok := l.Snapshot()
+		if !ok {
+			return nil, errors.New("store unhealthy")
+		}
+		return snap.Colors, nil
+	}
+	one, err := apply([][]dynamic.Mutation{muts})
+	if err != nil {
+		s.Err = err
+		return s
+	}
+	reordered := append([]dynamic.Mutation(nil), muts...)
+	for i, j := 0, len(reordered)-1; i < j; i, j = i+1, j-1 {
+		reordered[i], reordered[j] = reordered[j], reordered[i]
+	}
+	reo, err := apply([][]dynamic.Mutation{reordered})
+	if err != nil {
+		s.Err = err
+		return s
+	}
+	var singles [][]dynamic.Mutation
+	for _, m := range muts {
+		singles = append(singles, []dynamic.Mutation{m})
+	}
+	split, err := apply(singles)
+	if err != nil {
+		s.Err = err
+		return s
+	}
+	for v := range one {
+		if one[v] != reo[v] || one[v] != split[v] {
+			s.Err = fmt.Errorf("vertex %d: one=%d reordered=%d split=%d", v, one[v], reo[v], split[v])
+			return s
+		}
+	}
+	s.Detail = fmt.Sprintf("%d independent mutations, 3 application orders identical", len(muts))
+	return s
+}
+
+// dynamicNegativeSuite is the corruption control: with incremental
+// maintenance disabled (so the batch cannot be salvaged by the fallback),
+// corrupting the dynamic/maintain checkpoint artifact must fail the Apply
+// with a *Violation naming the phase — and must leave the store unhealthy
+// with an intact last-known-good snapshot.
+func dynamicNegativeSuite(w DynamicWorkload) SuiteResult {
+	s := SuiteResult{Suite: "negative"}
+	h := NewHarness(w.Graph)
+	l, err := dynLiveWithHarness(w.Graph, h, dynamic.Options{FallbackDirtyFraction: -1})
+	if err != nil {
+		s.Err = err
+		return s
+	}
+	good := l.LastGood()
+	h.CorruptPhase("dynamic/maintain")
+	var e graph.Edge
+	for _, e = range w.Graph.Edges() {
+		break
+	}
+	_, err = l.Apply([]dynamic.Mutation{{Op: dynamic.OpRemoveEdge, U: e.U, V: e.V}})
+	if err == nil {
+		s.Err = errors.New("corrupting dynamic/maintain went undetected")
+		return s
+	}
+	var v *Violation
+	if !errors.As(err, &v) || v.Phase != "dynamic/maintain" {
+		s.Err = fmt.Errorf("corruption failed without a dynamic/maintain Violation: %v", err)
+		return s
+	}
+	if l.Healthy() {
+		s.Err = errors.New("store healthy after a rejected maintenance")
+		return s
+	}
+	lg := l.LastGood()
+	if lg == nil || lg.Version != good.Version {
+		s.Err = errors.New("corruption advanced last-known-good")
+		return s
+	}
+	if err := ReferenceComplete(lg.G, lg.Colors, lg.NumColors); err != nil {
+		s.Err = fmt.Errorf("last-known-good invalid: %w", err)
+		return s
+	}
+	s.Detail = "violation caught, last-known-good intact"
+	return s
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"deltacoloring/internal/core"
+	"deltacoloring/internal/dynamic"
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/heg"
 	"deltacoloring/internal/local"
@@ -316,6 +317,21 @@ func DefaultCheckers() []Checker {
 				return true, coloring.VerifyComplete(g, &c, ck.NumColors)
 			},
 		},
+		{
+			Invariant: "dynamic/maintained-complete",
+			Phases:    []string{"dynamic/maintain"},
+			Check: func(g *graph.Graph, a any) (bool, error) {
+				ck, ok := a.(*dynamic.Snapshot)
+				if !ok {
+					return false, nil
+				}
+				// The store's graph evolves across batches, so the snapshot
+				// carries its own graph; the run's root graph is only the
+				// initial version.
+				c := coloring.Partial{Colors: ck.Colors}
+				return true, coloring.VerifyComplete(ck.G, &c, ck.NumColors)
+			},
+		},
 	}
 }
 
@@ -414,6 +430,11 @@ func Corrupt(artifact any) bool {
 			return true
 		}
 	case *repair.Snapshot:
+		if len(ck.Colors) > 0 {
+			ck.Colors[0] = ck.NumColors
+			return true
+		}
+	case *dynamic.Snapshot:
 		if len(ck.Colors) > 0 {
 			ck.Colors[0] = ck.NumColors
 			return true

@@ -120,8 +120,99 @@ func TestRepairInvalidCleanColoring(t *testing.T) {
 	if _, err := Repair(net, make([]int, 8), 0); err == nil {
 		t.Fatal("numColors=0 accepted")
 	}
-	if _, err := Repair(net, make([]int, 8), 1); err == nil {
-		t.Fatal("numColors below max degree accepted")
+	// numColors below the snapshot's Δ is no longer an error: the bound is
+	// recomputed from the current graph (see TestRepairPaletteFollowsDegreeGrowth).
+	colors := make([]int, 8)
+	res, err := Repair(net, colors, 1)
+	if err != nil {
+		t.Fatalf("numColors below max degree must raise the bound, got %v", err)
+	}
+	if res.NumColors < 2 {
+		t.Fatalf("bound not raised to the snapshot's Δ: %+v", res)
+	}
+	c := coloring.Partial{Colors: colors}
+	if err := coloring.VerifyComplete(g, &c, res.NumColors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Regression for dynamic-graph palette handling: when edge insertions grow a
+// vertex's degree past the palette bound the caller tracked at construction
+// time, Repair must recompute the bound from the *current* snapshot's Δ —
+// with the stale bound, the grown-set deg+1 guarantee breaks and the solve
+// can fail outright on a fresh hub vertex.
+func TestRepairPaletteFollowsDegreeGrowth(t *testing.T) {
+	// Start from a 2-regular cycle colored with Δ+1 = 3 colors, then splice
+	// in a hub adjacent to everything: Δ jumps from 2 to n-1 mid-stream.
+	base := graph.Cycle(12)
+	k := base.MaxDegree() + 1 // the construction-time bound the caller tracks
+	colors := greedyColoring(t, base)
+
+	var spokes []graph.Edge
+	for v := 0; v < base.N(); v++ {
+		spokes = append(spokes, graph.Edge{U: v, V: base.N()})
+	}
+	grown, err := graph.ApplyEdits(base, base.N()+1, spokes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors = append(colors, coloring.None)
+
+	net := local.New(grown)
+	defer net.Close()
+	res, err := Repair(net, colors, k)
+	if err != nil {
+		t.Fatalf("repair with stale palette bound: %v", err)
+	}
+	if res.NumColors < grown.MaxDegree() {
+		t.Fatalf("bound %d not recomputed from current Δ=%d", res.NumColors, grown.MaxDegree())
+	}
+	c := coloring.Partial{Colors: colors}
+	if err := coloring.VerifyComplete(grown, &c, res.NumColors); err != nil {
+		t.Fatalf("repaired coloring invalid under reported bound: %v", err)
+	}
+}
+
+func TestDetectSeededMatchesScopedDamage(t *testing.T) {
+	g := graph.ErdosRenyi(300, 0.03, rand.New(rand.NewSource(6)))
+	k := g.MaxDegree() + 1
+	colors := greedyColoring(t, g)
+
+	// Damage two spots; seed only the first one's location. The scoped
+	// detector must flag all damage inside the seeds' closed neighborhood
+	// and stay silent about the rest.
+	colors[15] = coloring.None
+	colors[200] = coloring.None
+	net := local.New(g)
+	defer net.Close()
+	damaged, err := DetectSeeded(net, colors, k, []int{15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(damaged) != 1 || damaged[0] != 15 {
+		t.Fatalf("scoped detect flagged %v, want [15]", damaged)
+	}
+	if net.Rounds() != 1 {
+		t.Fatalf("scoped detection charged %d rounds, want 1", net.Rounds())
+	}
+	// Full detect over all seeds agrees with the global detector.
+	allSeeds := make([]int, g.N())
+	for v := range allSeeds {
+		allSeeds[v] = v
+	}
+	scoped, err := DetectSeeded(net, colors, k, allSeeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := Detect(net, colors, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scoped, global) {
+		t.Fatalf("all-seeds scoped detect %v differs from global %v", scoped, global)
+	}
+	if _, err := DetectSeeded(net, colors, k, []int{-1}); err == nil {
+		t.Fatal("out-of-range seed accepted")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"deltacoloring/internal/dynamic"
 	"deltacoloring/internal/local"
 )
 
@@ -32,6 +33,18 @@ type metrics struct {
 
 	phaseRounds map[string]uint64
 
+	dynMutations  uint64
+	dynRecolored  uint64
+	dynFallbacks  uint64
+	dynFailures   uint64
+	dynRejects    uint64
+	dynCheckFails uint64
+	dynBatches    map[string]uint64 // mode -> applied batches
+	dynBuckets    []float64
+	dynBucketCnts []uint64
+	dynDurSum     float64
+	dynDurCount   uint64
+
 	engineRounds    uint64
 	sparseRounds    uint64
 	activeVertices  uint64
@@ -45,9 +58,12 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		phaseRounds:  make(map[string]uint64),
-		buckets:      []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10},
-		bucketCounts: make([]uint64, 8),
+		phaseRounds:   make(map[string]uint64),
+		buckets:       []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10},
+		bucketCounts:  make([]uint64, 8),
+		dynBatches:    make(map[string]uint64),
+		dynBuckets:    []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10},
+		dynBucketCnts: make([]uint64, 8),
 	}
 }
 
@@ -77,6 +93,39 @@ func (m *metrics) jobCompleted(d time.Duration) {
 	m.bucketCounts[i]++
 }
 
+// dynBatch records one applied mutation batch and its recolor latency.
+func (m *metrics) dynBatch(res *dynamic.ApplyResult, d time.Duration) {
+	s := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dynMutations += uint64(res.Mutations)
+	m.dynRecolored += uint64(res.Recolored)
+	if res.Fallback {
+		m.dynFallbacks++
+	}
+	m.dynBatches[res.Mode]++
+	m.dynDurSum += s
+	m.dynDurCount++
+	i := 0
+	for i < len(m.dynBuckets) && s > m.dynBuckets[i] {
+		i++
+	}
+	m.dynBucketCnts[i]++
+}
+
+// dynFailure records one batch whose maintenance (or validation) failed.
+func (m *metrics) dynFailure() { m.mu.Lock(); m.dynFailures++; m.mu.Unlock() }
+
+func (m *metrics) dynRejected() { m.mu.Lock(); m.dynRejects++; m.mu.Unlock() }
+
+// snapshotDynRejects reads the mutation-429 counter (test accessor).
+func (m *metrics) snapshotDynRejects() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dynRejects
+}
+func (m *metrics) dynCheckFailed() { m.mu.Lock(); m.dynCheckFails++; m.mu.Unlock() }
+
 // addSpan accumulates one closed phase span; it is the local.Network span
 // hook installed for every run.
 func (m *metrics) addSpan(sp local.Span) {
@@ -105,7 +154,7 @@ func escapeLabel(v string) string {
 // writeTo renders the registry in Prometheus text exposition format.
 // Gauges that live outside the registry (queue depth, worker count) are
 // passed in by the server at scrape time.
-func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState int) {
+func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState, dynGraphs int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -131,6 +180,32 @@ func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState int) {
 	fmt.Fprintf(w, "# HELP deltaserved_queue_depth Jobs currently waiting in the FIFO queue.\n# TYPE deltaserved_queue_depth gauge\ndeltaserved_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "# HELP deltaserved_workers Size of the worker pool.\n# TYPE deltaserved_workers gauge\ndeltaserved_workers %d\n", workers)
 	fmt.Fprintf(w, "# HELP deltaserved_breaker_state Circuit breaker state (0 closed, 1 open, 2 half-open).\n# TYPE deltaserved_breaker_state gauge\ndeltaserved_breaker_state %d\n", breakerState)
+
+	counter("deltaserved_dynamic_mutations_total", "Mutations applied to live dynamic graphs.", m.dynMutations)
+	counter("deltaserved_dynamic_recolored_total", "Vertices recolored by dynamic maintenance.", m.dynRecolored)
+	counter("deltaserved_dynamic_fallbacks_total", "Dynamic batches salvaged by a full recompute after a failed incremental attempt.", m.dynFallbacks)
+	counter("deltaserved_dynamic_failures_total", "Dynamic batches whose maintenance or validation failed.", m.dynFailures)
+	counter("deltaserved_dynamic_rejected_total", "Mutation batches rejected with 429 because an apply queue was full.", m.dynRejects)
+	counter("deltaserved_dynamic_check_failures_total", "Colorings that failed the ?check=1 oracle and were refused.", m.dynCheckFails)
+	fmt.Fprintf(w, "# HELP deltaserved_dynamic_graphs Live dynamic graph stores.\n# TYPE deltaserved_dynamic_graphs gauge\ndeltaserved_dynamic_graphs %d\n", dynGraphs)
+	fmt.Fprint(w, "# HELP deltaserved_dynamic_batches_total Applied dynamic batches by maintenance mode.\n# TYPE deltaserved_dynamic_batches_total counter\n")
+	modes := make([]string, 0, len(m.dynBatches))
+	for mode := range m.dynBatches {
+		modes = append(modes, mode)
+	}
+	sort.Strings(modes)
+	for _, mode := range modes {
+		fmt.Fprintf(w, "deltaserved_dynamic_batches_total{mode=%q} %d\n", escapeLabel(mode), m.dynBatches[mode])
+	}
+	fmt.Fprint(w, "# HELP deltaserved_dynamic_recolor_seconds Wall time of dynamic maintenance per applied batch.\n# TYPE deltaserved_dynamic_recolor_seconds histogram\n")
+	dcum := uint64(0)
+	for i, ub := range m.dynBuckets {
+		dcum += m.dynBucketCnts[i]
+		fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_bucket{le=%q} %d\n", trimFloat(ub), dcum)
+	}
+	fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_bucket{le=\"+Inf\"} %d\n", m.dynDurCount)
+	fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_sum %g\n", m.dynDurSum)
+	fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_count %d\n", m.dynDurCount)
 
 	fmt.Fprint(w, "# HELP deltaserved_phase_rounds_total LOCAL rounds charged per pipeline phase, harvested from local.Span tracing.\n# TYPE deltaserved_phase_rounds_total counter\n")
 	names := make([]string, 0, len(m.phaseRounds))

@@ -101,6 +101,17 @@ type ColorResponse struct {
 	Quarantined bool `json:"quarantined,omitempty"`
 }
 
+// decodeStrict decodes a JSON body into T, rejecting unknown fields.
+func decodeStrict[T any](r io.Reader) (*T, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	v := new(T)
+	if err := dec.Decode(v); err != nil {
+		return nil, fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return v, nil
+}
+
 // parseRequest decodes and validates a ColorRequest body.
 func parseRequest(r io.Reader) (*ColorRequest, error) {
 	dec := json.NewDecoder(r)

@@ -31,6 +31,7 @@ import (
 
 	"deltacoloring"
 	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
 )
 
 // Config sizes the server. The zero value is usable: every field falls back
@@ -75,11 +76,22 @@ type Config struct {
 	// executing before the watchdog declares it hung, fails it with 504,
 	// and returns the worker to the pool (default 2s).
 	WatchdogGrace time.Duration
+	// MaxGraphs bounds the live dynamic graph stores (default 16).
+	MaxGraphs int
+	// MutationQueueDepth bounds each graph's apply queue; a full queue
+	// answers 429 (default 32).
+	MutationQueueDepth int
+	// MaxMutationsPerBatch bounds one POST /v1/graphs/{id}/mutations body
+	// (default 4096).
+	MaxMutationsPerBatch int
 
 	// runHook, when set, runs on the worker goroutine just before a job's
 	// pipeline starts (once per attempt). It is a test seam for making
 	// saturation, slow jobs, and injected failures deterministic.
 	runHook func(*job)
+	// dynNetHook, when set, is installed as every dynamic store's NetHook.
+	// It is the chaos test seam for the /v1/graphs maintenance path.
+	dynNetHook func(*local.Network)
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +136,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatchdogGrace <= 0 {
 		c.WatchdogGrace = 2 * time.Second
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 16
+	}
+	if c.MutationQueueDepth <= 0 {
+		c.MutationQueueDepth = 32
+	}
+	if c.MaxMutationsPerBatch <= 0 {
+		c.MaxMutationsPerBatch = 4096
 	}
 	return c
 }
@@ -216,6 +237,11 @@ type Server struct {
 	idem     map[string]*job // idempotency key -> job, subset of jobs
 	jobOrder []string
 	jobSeq   uint64
+
+	gmu      sync.Mutex
+	graphs   map[string]*graphStore
+	graphSeq uint64
+	graphsWG sync.WaitGroup
 }
 
 // New builds a server and starts its worker pool.
@@ -230,9 +256,16 @@ func New(cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		jobs:    make(map[string]*job),
 		idem:    make(map[string]*job),
+		graphs:  make(map[string]*graphStore),
 	}
 	s.mux.HandleFunc("POST /v1/color", s.handleColor)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	s.mux.HandleFunc("GET /v1/graphs/{id}", s.handleGraphGet)
+	s.mux.HandleFunc("DELETE /v1/graphs/{id}", s.handleGraphDelete)
+	s.mux.HandleFunc("POST /v1/graphs/{id}/mutations", s.handleGraphMutate)
+	s.mux.HandleFunc("GET /v1/graphs/{id}/coloring", s.handleGraphColoring)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.workers.Add(cfg.Workers)
@@ -247,16 +280,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Shutdown stops accepting work and drains the queue: every already
 // accepted job still runs to completion (or cancellation by its own
-// deadline). It returns ctx.Err if draining outlives ctx.
+// deadline), and every graph's apply loop drains its queued batches. It
+// returns ctx.Err if draining outlives ctx.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.qmu.Lock()
 	if !s.closed.Swap(true) {
 		close(s.queue)
 	}
 	s.qmu.Unlock()
+	s.closeAllGraphs()
 	drained := make(chan struct{})
 	go func() {
 		s.workers.Wait()
+		s.graphsWG.Wait()
 		close(drained)
 	}()
 	select {
@@ -755,11 +791,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"breaker":       breakerStateName(bState),
 		"breaker_opens": bOpens,
 		"quarantined":   s.quarantinedCount(),
+		"graphs":        s.graphCount(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	bState, _ := s.breaker.snapshot()
-	s.met.writeTo(w, len(s.queue), s.cfg.Workers, bState)
+	s.met.writeTo(w, len(s.queue), s.cfg.Workers, bState, s.graphCount())
 }
