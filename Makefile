@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check race chaos conformance coverage-invariant serve bench bench-smoke bench-dynamic report report-full report-faults report-frontier fuzz clean
+.PHONY: all build vet test test-short check race chaos conformance coverage-invariant serve bench bench-smoke bench-arena bench-dynamic report report-full report-faults report-frontier fuzz clean
 
 # `check` is the default CI path: vet + the full test suite under -race.
 all: build check
@@ -67,6 +67,13 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./...
 	$(GO) run ./cmd/deltabench -bench -bench-iters 1 -bench-out /dev/null
 	$(GO) run ./cmd/deltabench -frontier -scale quick
+
+# One-iteration backend arena (EXPERIMENTS.md table E22): every registered
+# backend over the dense workload zoo with verified colorings per cell.
+# Raise -bench-iters and point -bench-out at BENCH_arena.json to
+# regenerate the checked-in artifact.
+bench-arena:
+	$(GO) run ./cmd/deltabench -arena -bench-iters 1 -bench-out BENCH_arena.ci.json
 
 # The dynamic-maintenance benchmark (EXPERIMENTS.md E21): short mutation
 # streams with the per-batch oracle on. Drop -quick and add

@@ -5,6 +5,7 @@
 //
 //	deltabench [-scale quick|standard|full] [-only E1,E5,...]
 //	deltabench -bench [-bench-iters n] [-bench-out file.json]
+//	deltabench -arena [-bench-iters n] [-bench-out BENCH_arena.json]
 //	deltabench -faults [-scale quick|standard|full]
 //	deltabench -frontier [-scale quick|standard|full]
 //	deltabench ... [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -17,6 +18,10 @@
 // refactor; BENCH_faults.json the repair-path overhead; BENCH_frontier.json
 // the frontier-scheduling snapshot). Each workload runs on both engines and
 // the command fails if the frontier and dense round counts diverge.
+// -arena runs the backend arena (EXPERIMENTS.md table E22): every
+// registered backend from internal/backend on the dense workload zoo,
+// recording per-cell timing, round charge, and color count; off-domain
+// refusals are marked skipped. BENCH_arena.json tracks the snapshot.
 // -faults runs E18, the fault-tolerance experiment: a pipeline coloring is
 // damaged by seeded crash-stop + corruption plans at increasing rates and
 // repaired distributedly, measuring blast radius, extra colors, and repair
@@ -53,6 +58,7 @@ func run(args []string) error {
 	scaleFlag := fs.String("scale", "standard", "experiment scale: quick, standard, or full")
 	onlyFlag := fs.String("only", "", "comma-separated experiment ids to run (e.g. E1,E5); empty = all")
 	benchFlag := fs.Bool("bench", false, "run the allocation benchmarks instead of the experiment tables")
+	arenaFlag := fs.Bool("arena", false, "run every registered backend over the workload zoo and emit BENCH_arena.json")
 	faultsFlag := fs.Bool("faults", false, "run the fault-tolerance experiment (E18) instead of the experiment tables")
 	frontierFlag := fs.Bool("frontier", false, "run the frontier-occupancy experiment (E19) instead of the experiment tables")
 	benchIters := fs.Int("bench-iters", 5, "iterations per benchmark in -bench mode (1 for a smoke run)")
@@ -86,7 +92,7 @@ func run(args []string) error {
 			f.Close()
 		}()
 	}
-	if *benchFlag {
+	if *benchFlag || *arenaFlag {
 		if *benchIters < 1 {
 			return fmt.Errorf("bench-iters must be at least 1")
 		}
@@ -98,6 +104,9 @@ func run(args []string) error {
 			}
 			defer f.Close()
 			out = f
+		}
+		if *arenaFlag {
+			return runArena(out, *benchIters)
 		}
 		return runBench(out, *benchIters)
 	}

@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"deltacoloring"
+	"deltacoloring/internal/backend"
 	"deltacoloring/internal/graphio"
 )
 
@@ -37,6 +39,7 @@ func run(args []string, w io.Writer) error {
 	deltaFlag := fs.Int("delta", 16, "clique size = maximum degree")
 	inFlag := fs.String("in", "", "read an edge-list graph file instead of generating (\"-\" for stdin)")
 	algoFlag := fs.String("algo", "det", "algorithm: det (Theorem 1) or rand (Theorem 2)")
+	backendFlag := fs.String("backend", "", "pipeline backend to run (overrides -algo): a registered name or auto for the portfolio selector")
 	seedFlag := fs.Int64("seed", 1, "seed for -algo rand")
 	paperFlag := fs.Bool("paper", false, "use the paper-exact parameters (ε=1/63, needs Δ ⪆ 85)")
 	colorsFlag := fs.Bool("colors", false, "print the per-vertex colors")
@@ -69,24 +72,30 @@ func run(args []string, w io.Writer) error {
 		rand *deltacoloring.RandomizedResult
 		err  error
 	)
-	switch *algoFlag {
-	case "det":
-		p := deltacoloring.ScaledParams()
-		if *paperFlag {
-			p = deltacoloring.DefaultParams()
+	if *backendFlag != "" {
+		res, rand, err = runBackend(w, g, *backendFlag, *paperFlag, *seedFlag)
+	} else {
+		switch *algoFlag {
+		case "det":
+			fmt.Fprintln(w, "backend: det")
+			p := deltacoloring.ScaledParams()
+			if *paperFlag {
+				p = deltacoloring.DefaultParams()
+			}
+			res, err = deltacoloring.Deterministic(g, p)
+		case "rand":
+			fmt.Fprintln(w, "backend: rand")
+			p := deltacoloring.ScaledRandomizedParams()
+			if *paperFlag {
+				p = deltacoloring.DefaultRandomizedParams()
+			}
+			rand, err = deltacoloring.Randomized(g, p, *seedFlag)
+			if rand != nil {
+				res = &rand.Result
+			}
+		default:
+			return fmt.Errorf("unknown -algo %q", *algoFlag)
 		}
-		res, err = deltacoloring.Deterministic(g, p)
-	case "rand":
-		p := deltacoloring.ScaledRandomizedParams()
-		if *paperFlag {
-			p = deltacoloring.DefaultRandomizedParams()
-		}
-		rand, err = deltacoloring.Randomized(g, p, *seedFlag)
-		if rand != nil {
-			res = &rand.Result
-		}
-	default:
-		return fmt.Errorf("unknown -algo %q", *algoFlag)
 	}
 	if err != nil {
 		return err
@@ -125,6 +134,49 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "wrote %s\n", *dotFlag)
 	}
 	return nil
+}
+
+// runBackend dispatches the run through the backend registry; "auto"
+// resolves through the portfolio selector and the effective pick is
+// printed either way. Unknown names fail fast listing the registry.
+func runBackend(w io.Writer, g *deltacoloring.Graph, name string, paper bool, seed int64) (*deltacoloring.Result, *deltacoloring.RandomizedResult, error) {
+	p := backend.Params{
+		Det:  deltacoloring.ScaledParams(),
+		Rand: deltacoloring.ScaledRandomizedParams(),
+		Seed: seed,
+	}
+	if paper {
+		p.Det = deltacoloring.DefaultParams()
+		p.Rand = deltacoloring.DefaultRandomizedParams()
+	}
+	p.Rand.Params = p.Det
+	var b backend.Backend
+	if name == "auto" {
+		b = backend.Select(g, p)
+		fmt.Fprintf(w, "backend: %s (selected by auto)\n", b.Name())
+	} else {
+		var err error
+		if b, err = backend.Get(name); err != nil {
+			return nil, nil, fmt.Errorf("unknown -backend %q (want auto or one of: %s)",
+				name, strings.Join(backend.Names(), ", "))
+		}
+		fmt.Fprintf(w, "backend: %s\n", b.Name())
+	}
+	bres, err := b.Color(nil, g, p, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &deltacoloring.Result{
+		Colors:   bres.Colors,
+		Rounds:   bres.Rounds,
+		Spans:    bres.Spans,
+		Frontier: bres.Frontier,
+		Stats:    bres.Stats,
+	}
+	if bres.Rand != nil {
+		return res, &deltacoloring.RandomizedResult{Result: *res, Rand: *bres.Rand}, nil
+	}
+	return res, nil, nil
 }
 
 func readGraph(path string) (*deltacoloring.Graph, error) {

@@ -71,6 +71,41 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	}
 }
 
+// TestRunBackendFlag pins the -backend surface: named backends run and
+// print their name, auto prints the selector's pick, and unknown names
+// fail fast listing the registered backends.
+func TestRunBackendFlag(t *testing.T) {
+	for _, name := range []string{"ruling", "simple"} {
+		var sb strings.Builder
+		if err := run([]string{"-gen", "hard", "-m", "16", "-delta", "16", "-backend", name}, &sb); err != nil {
+			t.Fatalf("-backend %s: %v", name, err)
+		}
+		for _, want := range []string{"backend: " + name, "Δ-coloring verified"} {
+			if !strings.Contains(sb.String(), want) {
+				t.Fatalf("-backend %s output missing %q:\n%s", name, want, sb.String())
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-gen", "easy", "-m", "4", "-delta", "16", "-backend", "auto"}, &sb); err != nil {
+		t.Fatalf("-backend auto: %v", err)
+	}
+	if !strings.Contains(sb.String(), "(selected by auto)") {
+		t.Fatalf("auto output missing the resolved pick:\n%s", sb.String())
+	}
+
+	err := run([]string{"-gen", "hard", "-backend", "nope"}, &sb)
+	if err == nil {
+		t.Fatal("accepted unknown backend")
+	}
+	for _, want := range []string{`unknown -backend "nope"`, "det", "ruling", "simple"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
 func writeTemp(t *testing.T, content string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "g.edges")

@@ -28,8 +28,8 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math/rand"
 
+	"deltacoloring/internal/backend"
 	"deltacoloring/internal/coloring"
 	"deltacoloring/internal/core"
 	"deltacoloring/internal/dynamic"
@@ -140,21 +140,12 @@ func Deterministic(g *Graph, p Params) (*Result, error) {
 // the context's deadline/cancellation is checked at every LOCAL round
 // boundary (and so between all pipeline phases), aborting the run with
 // ctx.Err(). opts may be nil.
-func DeterministicContext(ctx context.Context, g *Graph, p Params, opts *RunOptions) (res *Result, err error) {
-	net := newNetwork(ctx, g, opts)
-	defer net.Close()
-	defer recoverInterrupt(&err)
-	cres, cerr := core.ColorDeterministic(net, p)
-	if cerr != nil {
-		return nil, cerr
+func DeterministicContext(ctx context.Context, g *Graph, p Params, opts *RunOptions) (*Result, error) {
+	res, err := backend.Default().Color(ctx, g, backend.Params{Det: p}, backendOpts(opts))
+	if err != nil {
+		return nil, err
 	}
-	return &Result{
-		Colors:   cres.Coloring.Colors,
-		Rounds:   cres.Rounds,
-		Spans:    cres.Spans,
-		Frontier: cres.Frontier,
-		Stats:    cres.Stats,
-	}, nil
+	return fromBackend(res), nil
 }
 
 // Randomized runs Theorem 2's algorithm with the given parameters and seed.
@@ -164,55 +155,46 @@ func Randomized(g *Graph, p RandomizedParams, seed int64) (*RandomizedResult, er
 
 // RandomizedContext is Randomized with cancellation and run options; see
 // DeterministicContext for the contract.
-func RandomizedContext(ctx context.Context, g *Graph, p RandomizedParams, seed int64, opts *RunOptions) (res *RandomizedResult, err error) {
-	net := newNetwork(ctx, g, opts)
-	defer net.Close()
-	defer recoverInterrupt(&err)
-	cres, cerr := core.ColorRandomized(net, p, rand.New(rand.NewSource(seed)))
-	if cerr != nil {
-		return nil, cerr
+func RandomizedContext(ctx context.Context, g *Graph, p RandomizedParams, seed int64, opts *RunOptions) (*RandomizedResult, error) {
+	res, err := mustBackend("rand").Color(ctx, g, backend.Params{Rand: p, Seed: seed}, backendOpts(opts))
+	if err != nil {
+		return nil, err
 	}
-	return &RandomizedResult{
-		Result: Result{
-			Colors:   cres.Coloring.Colors,
-			Rounds:   cres.Rounds,
-			Spans:    cres.Spans,
-			Frontier: cres.Frontier,
-			Stats:    cres.Stats,
-		},
-		Rand: cres.Rand,
-	}, nil
+	return &RandomizedResult{Result: *fromBackend(res), Rand: *res.Rand}, nil
 }
 
-func newNetwork(ctx context.Context, g *Graph, opts *RunOptions) *local.Network {
-	net := local.New(g)
-	if ctx != nil && ctx.Done() != nil {
-		net.SetInterrupt(func() error { return ctx.Err() })
+// backendOpts converts the public run options to the backend seam's; all
+// network setup, interrupt recovery, and close boilerplate lives behind
+// backend.Exec (see internal/backend).
+func backendOpts(opts *RunOptions) *backend.RunOptions {
+	if opts == nil {
+		return nil
 	}
-	if opts != nil {
-		if opts.SpanHook != nil {
-			net.SetSpanHook(opts.SpanHook)
-		}
-		if opts.Workers != 0 {
-			net.SetWorkers(opts.Workers)
-		}
-		if opts.DisableFrontier {
-			net.SetFrontier(false)
-		}
+	return &backend.RunOptions{
+		SpanHook:        opts.SpanHook,
+		Workers:         opts.Workers,
+		DisableFrontier: opts.DisableFrontier,
 	}
-	return net
 }
 
-// recoverInterrupt converts the local.Interrupt panic raised by a cancelled
-// context back into an ordinary error return.
-func recoverInterrupt(err *error) {
-	if r := recover(); r != nil {
-		ip, ok := r.(local.Interrupt)
-		if !ok {
-			panic(r)
-		}
-		*err = ip.Err
+// fromBackend converts a backend result to the public shape.
+func fromBackend(res *backend.Result) *Result {
+	return &Result{
+		Colors:   res.Colors,
+		Rounds:   res.Rounds,
+		Spans:    res.Spans,
+		Frontier: res.Frontier,
+		Stats:    res.Stats,
 	}
+}
+
+// mustBackend resolves a backend registered by internal/backend's init.
+func mustBackend(name string) backend.Backend {
+	b, err := backend.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // CheckReport summarizes the invariant validation of a checked run: which
@@ -241,13 +223,11 @@ func RunChecked(g *Graph, p Params) (*Result, *CheckReport, error) {
 // DeterministicContext for the contract.
 func RunCheckedContext(ctx context.Context, g *Graph, p Params, opts *RunOptions) (*Result, *CheckReport, error) {
 	h := invariant.NewHarness(g)
-	res, err := runWithHarness(ctx, g, opts, h, func(net *local.Network) (*core.Result, error) {
-		return core.ColorDeterministic(net, p)
-	})
+	res, err := backend.Default().Color(ctx, g, backend.Params{Det: p}, withHarness(opts, h))
 	if err != nil {
 		return nil, nil, err
 	}
-	return checkReport(g, h, res)
+	return checkReport(g, h, fromBackend(res))
 }
 
 // RunCheckedRandomized is Randomized with the conformance harness attached;
@@ -260,41 +240,25 @@ func RunCheckedRandomized(g *Graph, p RandomizedParams, seed int64) (*Randomized
 // run options; see DeterministicContext for the contract.
 func RunCheckedRandomizedContext(ctx context.Context, g *Graph, p RandomizedParams, seed int64, opts *RunOptions) (*RandomizedResult, *CheckReport, error) {
 	h := invariant.NewHarness(g)
-	var rstats RandStats
-	res, err := runWithHarness(ctx, g, opts, h, func(net *local.Network) (*core.Result, error) {
-		rres, rerr := core.ColorRandomized(net, p, rand.New(rand.NewSource(seed)))
-		if rerr != nil {
-			return nil, rerr
-		}
-		rstats = rres.Rand
-		return &rres.Result, nil
-	})
+	bres, err := mustBackend("rand").Color(ctx, g, backend.Params{Rand: p, Seed: seed}, withHarness(opts, h))
 	if err != nil {
 		return nil, nil, err
 	}
-	res, rep, err := checkReport(g, h, res)
+	res, rep, err := checkReport(g, h, fromBackend(bres))
 	if err != nil {
 		return nil, nil, err
 	}
-	return &RandomizedResult{Result: *res, Rand: rstats}, rep, nil
+	return &RandomizedResult{Result: *res, Rand: *bres.Rand}, rep, nil
 }
 
-func runWithHarness(ctx context.Context, g *Graph, opts *RunOptions, h *invariant.Harness, run func(*local.Network) (*core.Result, error)) (res *Result, err error) {
-	net := newNetwork(ctx, g, opts)
-	defer net.Close()
-	h.Attach(net)
-	defer recoverInterrupt(&err)
-	cres, cerr := run(net)
-	if cerr != nil {
-		return nil, cerr
+// withHarness wires the conformance harness into a run's network hook.
+func withHarness(opts *RunOptions, h *invariant.Harness) *backend.RunOptions {
+	bo := backendOpts(opts)
+	if bo == nil {
+		bo = &backend.RunOptions{}
 	}
-	return &Result{
-		Colors:   cres.Coloring.Colors,
-		Rounds:   cres.Rounds,
-		Spans:    cres.Spans,
-		Frontier: cres.Frontier,
-		Stats:    cres.Stats,
-	}, nil
+	bo.NetHook = h.Attach
+	return bo
 }
 
 // checkReport cross-checks the final coloring against the sequential oracle
@@ -365,22 +329,27 @@ func Repair(g *Graph, colors []int) (*RepairResult, error) {
 
 // RepairContext is Repair with cancellation and run options; see
 // DeterministicContext for the contract.
-func RepairContext(ctx context.Context, g *Graph, colors []int, opts *RunOptions) (res *RepairResult, err error) {
-	net := newNetwork(ctx, g, opts)
-	defer net.Close()
-	defer recoverInterrupt(&err)
-	rres, rerr := repair.Repair(net, colors, g.MaxDegree())
-	if rerr != nil {
-		return nil, rerr
+func RepairContext(ctx context.Context, g *Graph, colors []int, opts *RunOptions) (*RepairResult, error) {
+	var res *RepairResult
+	err := backend.Exec(ctx, g, backendOpts(opts), func(net *local.Network) error {
+		rres, rerr := repair.Repair(net, colors, g.MaxDegree())
+		if rerr != nil {
+			return rerr
+		}
+		res = &RepairResult{
+			Colors:         colors,
+			Damaged:        rres.Damaged,
+			RepairSet:      rres.RepairSet,
+			Grown:          rres.Grown,
+			ExtraColorUsed: rres.ExtraColorUsed,
+			Rounds:         rres.Rounds,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &RepairResult{
-		Colors:         colors,
-		Damaged:        rres.Damaged,
-		RepairSet:      rres.RepairSet,
-		Grown:          rres.Grown,
-		ExtraColorUsed: rres.ExtraColorUsed,
-		Rounds:         rres.Rounds,
-	}, nil
+	return res, nil
 }
 
 // Dynamic is a long-lived graph store with a maintained deg+1 coloring: it

@@ -1,0 +1,64 @@
+package backend_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"deltacoloring/internal/backend"
+	"deltacoloring/internal/core"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/invariant"
+)
+
+// TestCrossBackendAgreement runs every registered backend over the dense
+// generator zoo with the conformance harness attached: each backend either
+// refuses an out-of-scope instance with a structural error, or produces a
+// coloring that the phase checkpoints and the differential oracle both
+// accept. Backends never disagree on what a valid answer is.
+func TestCrossBackendAgreement(t *testing.T) {
+	type instance struct {
+		name string
+		g    *graph.Graph
+	}
+	ring, _ := graph.EasyCliqueRing(8, 16)
+	blocks, _ := graph.EasyDenseBlocks(8, 63, 1)
+	hardBip, _ := graph.HardCliqueBipartite(16, 16)
+	patch, _ := graph.HardWithEasyPatch(16, 16)
+	zoo := []instance{
+		{"clique-ring", ring},
+		{"dense-blocks", blocks},
+		{"hard-bipartite", hardBip},
+		{"hard-easy-patch", patch},
+	}
+	// Structural refusals each backend is allowed on instances outside its
+	// domain (e.g. simple on graphs that are not uniformly hard).
+	structural := func(err error) bool {
+		return errors.Is(err, core.ErrNotDense) || errors.Is(err, core.ErrBrooks) ||
+			strings.Contains(err.Error(), "use ColorDeterministic")
+	}
+	p := backend.Params{Det: core.TestParams(), Rand: core.TestRandomizedParams(), Seed: 41}
+	p.Rand.Params = p.Det
+	for _, inst := range zoo {
+		for _, name := range backend.Names() {
+			b, err := backend.Get(name)
+			if err != nil {
+				t.Fatalf("Get(%q): %v", name, err)
+			}
+			h := invariant.NewHarness(inst.g)
+			res, err := b.Color(nil, inst.g, p, &backend.RunOptions{NetHook: h.Attach})
+			if err != nil {
+				if !structural(err) {
+					t.Errorf("%s/%s: non-structural failure: %v", inst.name, name, err)
+				}
+				continue
+			}
+			if b.Caps().Checkpoints && h.Checks() == 0 {
+				t.Errorf("%s/%s: checkpoint-capable backend published no checkpoints", inst.name, name)
+			}
+			if err := invariant.ReferenceComplete(inst.g, res.Colors, inst.g.MaxDegree()); err != nil {
+				t.Errorf("%s/%s: oracle rejected the coloring: %v", inst.name, name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package backend
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"deltacoloring/internal/core"
+	"deltacoloring/internal/graph"
+)
+
+func TestRegistryNamesSorted(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for _, want := range []string{"det", "rand", "ruling", "simple"} {
+		if _, err := Get(want); err != nil {
+			t.Fatalf("reference backend %q not registered: %v", want, err)
+		}
+	}
+	if Default().Name() != DefaultName {
+		t.Fatalf("Default() = %q, want %q", Default().Name(), DefaultName)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, `duplicate registration of "det"`) {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	Register(&pipelineBackend{name: "det"})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name Register did not panic")
+		}
+	}()
+	Register(&pipelineBackend{})
+}
+
+func TestGetUnknownListsRegistered(t *testing.T) {
+	_, err := Get("nonesuch")
+	if err == nil {
+		t.Fatal("Get(nonesuch) succeeded")
+	}
+	for _, frag := range []string{`unknown backend "nonesuch"`, "det", "rand", "ruling", "simple"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func TestSelectHeuristic(t *testing.T) {
+	p := Params{Det: core.TestParams()}
+
+	sparse := graph.Cycle(32)
+	if got := Select(sparse, p).Name(); got != "det" {
+		t.Fatalf("sparse graph selected %q, want det", got)
+	}
+
+	hardBip, _ := graph.HardCliqueBipartite(16, 16)
+	if got := Select(hardBip, p).Name(); got != "simple" && got != "ruling" {
+		t.Fatalf("all-hard graph selected %q, want simple or ruling", got)
+	}
+
+	ring, _ := graph.EasyCliqueRing(8, 16)
+	if got := Select(ring, p).Name(); got != "det" {
+		t.Fatalf("all-easy graph selected %q, want det", got)
+	}
+
+	patch, _ := graph.HardWithEasyPatch(16, 16)
+	if got := Select(patch, p).Name(); got != "ruling" {
+		t.Fatalf("hard-dominated graph selected %q, want ruling", got)
+	}
+
+	// On dense instances the selected backend must actually color its graph
+	// (sparse inputs are rejected by every pipeline with ErrNotDense).
+	for _, g := range []*graph.Graph{hardBip, ring, patch} {
+		b := Select(g, p)
+		res, err := b.Color(nil, g, p, nil)
+		if err != nil {
+			t.Fatalf("selected backend %q failed: %v", b.Name(), err)
+		}
+		if len(res.Colors) != g.N() {
+			t.Fatalf("backend %q returned %d colors for %d vertices", b.Name(), len(res.Colors), g.N())
+		}
+	}
+}
+
+func TestSelectZeroParams(t *testing.T) {
+	hardBip, _ := graph.HardCliqueBipartite(16, 16)
+	// A zero Params must not crash the probe; Select falls back to defaults.
+	if b := Select(hardBip, Params{}); b == nil {
+		t.Fatal("Select returned nil backend")
+	}
+}
+
+func TestRaceWinnerMatchesSolo(t *testing.T) {
+	g, _ := graph.HardCliqueBipartite(16, 16)
+	p := Params{Det: core.TestParams()}
+	det, rul := mustGet("det"), mustGet("ruling")
+	res, err := Race(nil, g, p, nil, det, rul)
+	if err != nil {
+		t.Fatalf("Race: %v", err)
+	}
+	if res.Winner != "det" && res.Winner != "ruling" {
+		t.Fatalf("unexpected winner %q", res.Winner)
+	}
+	if res.Loser == res.Winner || res.Loser == "" {
+		t.Fatalf("bad loser %q for winner %q", res.Loser, res.Winner)
+	}
+	solo, err := mustGet(res.Winner).Color(nil, g, p, nil)
+	if err != nil {
+		t.Fatalf("solo %s: %v", res.Winner, err)
+	}
+	for v, c := range res.Colors {
+		if c != solo.Colors[v] {
+			t.Fatalf("race winner %s diverged from solo run at vertex %d: %d != %d", res.Winner, v, c, solo.Colors[v])
+		}
+	}
+}
+
+func TestRaceSameBackend(t *testing.T) {
+	g, _ := graph.EasyCliqueRing(8, 16)
+	det := mustGet("det")
+	res, err := Race(nil, g, Params{Det: core.TestParams()}, nil, det, det)
+	if err != nil {
+		t.Fatalf("Race: %v", err)
+	}
+	if res.Winner != "det" || res.Loser != "" {
+		t.Fatalf("same-backend race: winner %q loser %q", res.Winner, res.Loser)
+	}
+}
+
+func TestRaceBothFail(t *testing.T) {
+	// A sparse graph is rejected by every dense-only pipeline.
+	g := graph.Cycle(32)
+	_, err := Race(nil, g, Params{Det: core.TestParams()}, nil, mustGet("simple"), mustGet("ruling"))
+	if err == nil {
+		t.Fatal("race of two failing backends succeeded")
+	}
+	if !strings.Contains(err.Error(), "both failed") {
+		t.Fatalf("unexpected race error: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package backend
+
+import (
+	"context"
+	"math/rand"
+
+	"deltacoloring/internal/core"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// pipelineBackend adapts one internal/core pipeline to the Backend
+// interface: all four registered backends share the network lifecycle in
+// Exec and differ only in the core entry point they call.
+type pipelineBackend struct {
+	name string
+	caps Caps
+	run  func(net *local.Network, p Params) (*core.Result, *core.RandStats, error)
+}
+
+func (b *pipelineBackend) Name() string { return b.name }
+func (b *pipelineBackend) Caps() Caps   { return b.caps }
+
+func (b *pipelineBackend) Color(ctx context.Context, g *graph.Graph, p Params, opts *RunOptions) (*Result, error) {
+	var res *Result
+	err := Exec(ctx, g, opts, func(net *local.Network) error {
+		cres, rstats, rerr := b.run(net, p)
+		if rerr != nil {
+			return rerr
+		}
+		res = &Result{
+			Colors:   cres.Coloring.Colors,
+			Rounds:   cres.Rounds,
+			Spans:    cres.Spans,
+			Frontier: cres.Frontier,
+			Stats:    cres.Stats,
+			Rand:     rstats,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func init() {
+	// det: Theorem 1's deterministic pipeline (Algorithm 1-3); the default
+	// and the reference for bit-identity contracts.
+	Register(&pipelineBackend{
+		name: "det",
+		caps: Caps{Checkpoints: true, Frontier: true, Faults: true},
+		run: func(net *local.Network, p Params) (*core.Result, *core.RandStats, error) {
+			res, err := core.ColorDeterministic(net, p.Det)
+			return res, nil, err
+		},
+	})
+	// rand: Theorem 2's shattering-based pipeline (Algorithm 4).
+	Register(&pipelineBackend{
+		name: "rand",
+		caps: Caps{Checkpoints: true, Frontier: true, Faults: true, Randomized: true},
+		run: func(net *local.Network, p Params) (*core.Result, *core.RandStats, error) {
+			res, err := core.ColorRandomized(net, p.Rand, rand.New(rand.NewSource(p.Seed)))
+			if err != nil {
+				return nil, nil, err
+			}
+			rs := res.Rand
+			return &res.Result, &rs, nil
+		},
+	})
+	// simple: the Section 1.1 sketch for extremely dense graphs (every
+	// almost clique hard of size exactly Δ); see core.ColorSimpleDense.
+	Register(&pipelineBackend{
+		name: "simple",
+		caps: Caps{Checkpoints: true, Frontier: true},
+		run: func(net *local.Network, p Params) (*core.Result, *core.RandStats, error) {
+			res, err := core.ColorSimpleDense(net, p.Det)
+			return res, nil, err
+		},
+	})
+	// ruling: the ruling-subgraph route (arXiv 2503.04320): triad selection
+	// coordinated by a ruling set on the hard-clique graph instead of the
+	// matching + HEG + splitting machinery; see core.ColorRuling.
+	Register(&pipelineBackend{
+		name: "ruling",
+		caps: Caps{Checkpoints: true, Frontier: true},
+		run: func(net *local.Network, p Params) (*core.Result, *core.RandStats, error) {
+			res, err := core.ColorRuling(net, p.Det)
+			return res, nil, err
+		},
+	})
+}

@@ -1,0 +1,131 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"deltacoloring/internal/acd"
+	"deltacoloring/internal/core"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+	"deltacoloring/internal/loophole"
+)
+
+// Select picks a backend for g by structure: Δ, density, and the shape of
+// the almost-clique decomposition. The probe computes the ACD and the
+// hard/easy classification on a throwaway network (the choice is an
+// engineering heuristic, not part of the algorithm, so its rounds are not
+// charged to the caller's run):
+//
+//   - degenerate or low-Δ inputs, sparse graphs, and easy-dominated
+//     decompositions go to the reference deterministic pipeline;
+//   - the extremely dense shape (every almost clique a complete hard
+//     clique of size exactly Δ) goes to the simple-dense route;
+//   - hard-dominated decompositions go to the ruling-subgraph route,
+//     which skips the matching/HEG/splitting machinery.
+//
+// Select never fails: anything it cannot confidently classify runs on the
+// default backend, and the selected backend still enforces every runtime
+// invariant itself.
+func Select(g *graph.Graph, p Params) Backend {
+	delta := g.MaxDegree()
+	if g.N() == 0 || delta < 6 {
+		return Default()
+	}
+	if p.Det.Eps <= 0 || p.Det.Eps >= 1 {
+		p.Det = core.DefaultParams()
+	}
+	net := local.New(g)
+	defer net.Close()
+	a, err := acd.Compute(net, p.Det.Eps)
+	if err != nil || !a.IsDense() {
+		return Default()
+	}
+	cl := loophole.Classify(g, a)
+	hard := 0
+	simpleShape := true
+	for ci, members := range a.Cliques {
+		if !cl.Easy[ci] {
+			hard++
+		} else {
+			simpleShape = false
+		}
+		if len(members) != delta || !g.IsClique(members) {
+			simpleShape = false
+		}
+	}
+	if simpleShape && hard == len(a.Cliques) {
+		return mustGet("simple")
+	}
+	if 2*hard >= len(a.Cliques) && hard > 0 {
+		return mustGet("ruling")
+	}
+	return Default()
+}
+
+func mustGet(name string) Backend {
+	b, err := Get(name)
+	if err != nil {
+		panic(err) // registered in this package's init
+	}
+	return b
+}
+
+// RaceResult is the outcome of a Race: the winner's result plus who won.
+type RaceResult struct {
+	*Result
+	// Winner is the backend whose result is reported.
+	Winner string
+	// Loser is the cancelled (or failed) contender, empty if the
+	// contenders were the same backend.
+	Loser string
+}
+
+// Race runs two backends concurrently under one context and cancels the
+// loser: the first successful result wins and the other run is aborted at
+// its next LOCAL round boundary. If the first finisher failed, the second
+// is awaited; if both fail, both errors are reported. Hooks in opts
+// (SpanHook, NetHook) observe both contenders concurrently and must be
+// safe for that — do not attach a conformance harness to a race.
+func Race(ctx context.Context, g *graph.Graph, p Params, opts *RunOptions, b1, b2 Backend) (*RaceResult, error) {
+	if b1.Name() == b2.Name() {
+		res, err := b1.Color(ctx, g, p, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &RaceResult{Result: res, Winner: b1.Name()}, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		name string
+		res  *Result
+		err  error
+	}
+	ch := make(chan outcome, 2)
+	for _, b := range []Backend{b1, b2} {
+		go func(b Backend) {
+			res, err := b.Color(rctx, g, p, opts)
+			ch <- outcome{name: b.Name(), res: res, err: err}
+		}(b)
+	}
+	first := <-ch
+	if first.err == nil {
+		cancel()
+		<-ch // join the loser so no goroutine outlives the call
+		loser := b1.Name()
+		if first.name == loser {
+			loser = b2.Name()
+		}
+		return &RaceResult{Result: first.res, Winner: first.name, Loser: loser}, nil
+	}
+	second := <-ch
+	if second.err == nil {
+		return &RaceResult{Result: second.res, Winner: second.name, Loser: first.name}, nil
+	}
+	return nil, fmt.Errorf("backend: race %s vs %s: both failed: %v; %v",
+		b1.Name(), b2.Name(), first.err, second.err)
+}

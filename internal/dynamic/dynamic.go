@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"deltacoloring/internal/backend"
 	"deltacoloring/internal/coloring"
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/local"
@@ -51,6 +52,13 @@ type Options struct {
 	// rounds execute. It is the chaos and conformance seam: tests install
 	// fault plans (local.SetFaults) or the invariant harness through it.
 	NetHook func(*local.Network)
+	// Backend, when non-empty, names a registered pipeline backend
+	// (internal/backend) that full recomputes try first: on dense structures
+	// it maintains a true Δ-coloring instead of the greedy Δ+1 palette. Any
+	// backend failure (e.g. the structure drifted sparse under mutations)
+	// falls back to the greedy deg+1 path, preserving valid-or-unhealthy.
+	// New rejects unknown names.
+	Backend string
 }
 
 func (o Options) withDefaults() Options {
@@ -130,8 +138,14 @@ type Live struct {
 }
 
 // New creates a store over g and colors it from scratch (a ModeRecompute
-// maintenance, version 1). The initial coloring uses at most Δ+1 colors.
+// maintenance, version 1). The initial coloring uses at most Δ+1 colors
+// (exactly Δ when a pipeline backend is configured and applies).
 func New(g *graph.Graph, opts Options) (*Live, error) {
+	if opts.Backend != "" {
+		if _, err := backend.Get(opts.Backend); err != nil {
+			return nil, fmt.Errorf("dynamic: %w", err)
+		}
+	}
 	l := &Live{
 		opts:    opts.withDefaults(),
 		g:       g,
@@ -328,6 +342,8 @@ type Info struct {
 	Version   int64 `json:"version"`
 	NumColors int   `json:"num_colors"`
 	Healthy   bool  `json:"healthy"`
+	// Backend is the configured recompute backend, empty for greedy-only.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Info returns the store's current shape.
@@ -348,6 +364,7 @@ func (l *Live) Info() Info {
 		Version:   l.version,
 		NumColors: l.numColors,
 		Healthy:   l.healthy,
+		Backend:   l.opts.Backend,
 	}
 }
 

@@ -3,7 +3,9 @@ package dynamic
 import (
 	"fmt"
 
+	"deltacoloring/internal/backend"
 	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/core"
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/local"
 	"deltacoloring/internal/repair"
@@ -98,17 +100,22 @@ func (l *Live) maintainIncremental(g2 *graph.Graph, colors []int, p *batchPlan, 
 	})
 }
 
-// recompute colors g2 from scratch: every vertex (tombstones included —
-// they are isolated and cost nothing) runs the greedy deg+1 solve over the
-// full palette [0, Δ+1) on a fresh root network, so chaos hooks apply to
-// the fallback path exactly as to the incremental one. colors is
-// overwritten on success.
+// recompute colors g2 from scratch. When a pipeline backend is configured
+// it runs first — on dense structures it maintains a true Δ-coloring — and
+// any backend failure falls through to the greedy path below: every vertex
+// (tombstones included — they are isolated and cost nothing) runs the
+// greedy deg+1 solve over the full palette [0, Δ+1) on a fresh root
+// network, so chaos hooks apply to the fallback path exactly as to the
+// incremental one. colors is overwritten on success.
 func (l *Live) recompute(g2 *graph.Graph, colors []int, res *ApplyResult) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("recompute panic: %v", r)
 		}
 	}()
+	if l.opts.Backend != "" && l.recomputeBackend(g2, colors, res) {
+		return nil
+	}
 	net := local.New(g2)
 	defer net.Close()
 	l.hookNet(net)
@@ -150,6 +157,54 @@ func (l *Live) recompute(g2 *graph.Graph, colors []int, res *ApplyResult) (err e
 		NumColors: kNew,
 		Version:   res.Version,
 	})
+}
+
+// recomputeBackend attempts the full recoloring through the configured
+// pipeline backend and reports whether it fully succeeded (coloring
+// produced, verified, and checkpointed). Workers and the chaos/conformance
+// NetHook apply to the backend's network exactly as to the greedy paths.
+// Any failure — the structure drifted out of the backend's domain (sparse
+// vertices, a (Δ+1)-clique), an injected fault, a rejected checkpoint —
+// returns false and the caller falls back to the greedy deg+1 solve.
+func (l *Live) recomputeBackend(g2 *graph.Graph, colors []int, res *ApplyResult) bool {
+	b, err := backend.Get(l.opts.Backend)
+	if err != nil {
+		return false
+	}
+	p := backend.Params{Det: core.TestParams(), Rand: core.TestRandomizedParams(), Seed: res.Version}
+	p.Rand.Params = p.Det
+	bres, err := b.Color(nil, g2, p, &backend.RunOptions{
+		Workers: l.opts.Workers,
+		NetHook: l.opts.NetHook,
+	})
+	if err != nil {
+		return false
+	}
+	kNew := 1
+	for _, c := range bres.Colors {
+		if c+1 > kNew {
+			kNew = c + 1
+		}
+	}
+	part := coloring.Partial{Colors: bres.Colors}
+	if coloring.VerifyComplete(g2, &part, kNew) != nil {
+		return false
+	}
+	copy(colors, bres.Colors)
+	res.Recolored += g2.N()
+	res.NumColors = kNew
+	res.Rounds += bres.Rounds
+	// Publish the maintenance checkpoint on a hooked network so an attached
+	// harness validates the installed snapshot like any other batch.
+	net := local.New(g2)
+	defer net.Close()
+	l.hookNet(net)
+	return net.Checkpoint("dynamic/maintain", &Snapshot{
+		G:         g2,
+		Colors:    append([]int(nil), colors...),
+		NumColors: kNew,
+		Version:   res.Version,
+	}) == nil
 }
 
 // solveGreedy colors the active vertices from their lists with the

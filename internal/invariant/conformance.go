@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strings"
 
+	"deltacoloring/internal/backend"
 	"deltacoloring/internal/coloring"
 	"deltacoloring/internal/core"
 	"deltacoloring/internal/faults"
@@ -87,42 +88,34 @@ func Failed(results []WorkloadResult) bool {
 	return false
 }
 
-// algo identifies one pipeline under test.
+// algo identifies one registered backend under test.
 type algo struct {
 	name string
-	run  func(net *local.Network, w Workload) (*coloring.Partial, int, []local.Span, error)
+	b    backend.Backend
 }
 
+// algosOf returns the matrix row's pipelines: every registered backend the
+// workload opts into, in registry (sorted-name) order, so "det" always
+// leads when enabled. A newly registered backend gains matrix coverage by
+// setting the matching Workload flag — the suites themselves are
+// backend-agnostic.
 func algosOf(w Workload) []algo {
+	enabled := map[string]bool{
+		"det":    w.Det,
+		"rand":   w.Rand,
+		"ruling": w.Ruling,
+		"simple": w.Simple,
+	}
 	var out []algo
-	if w.Det {
-		out = append(out, algo{name: "det", run: func(net *local.Network, w Workload) (*coloring.Partial, int, []local.Span, error) {
-			res, err := core.ColorDeterministic(net, w.Params)
-			if err != nil {
-				return nil, 0, nil, err
-			}
-			return res.Coloring, res.Rounds, res.Spans, nil
-		}})
-	}
-	if w.Simple {
-		out = append(out, algo{name: "simple", run: func(net *local.Network, w Workload) (*coloring.Partial, int, []local.Span, error) {
-			res, err := core.ColorSimpleDense(net, w.Params)
-			if err != nil {
-				return nil, 0, nil, err
-			}
-			return res.Coloring, res.Rounds, res.Spans, nil
-		}})
-	}
-	if w.Rand {
-		out = append(out, algo{name: "rand", run: func(net *local.Network, w Workload) (*coloring.Partial, int, []local.Span, error) {
-			rp := core.TestRandomizedParams()
-			rp.Params = w.Params
-			res, err := core.ColorRandomized(net, rp, rand.New(rand.NewSource(w.Seed)))
-			if err != nil {
-				return nil, 0, nil, err
-			}
-			return res.Coloring, res.Rounds, res.Spans, nil
-		}})
+	for _, name := range backend.Names() {
+		if !enabled[name] {
+			continue
+		}
+		b, err := backend.Get(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, algo{name: name, b: b})
 	}
 	return out
 }
@@ -139,20 +132,21 @@ type checkedRun struct {
 }
 
 func runChecked(w Workload, a algo, workers int, frontier bool, corrupt string) checkedRun {
-	net := local.New(w.Graph)
-	defer net.Close()
-	net.SetWorkers(workers)
-	net.SetFrontier(frontier)
 	h := NewHarness(w.Graph)
-	h.Attach(net)
 	if corrupt != "" {
 		h.CorruptPhase(corrupt)
 	}
-	c, rounds, spans, err := a.run(net, w)
-	out := checkedRun{rounds: rounds, spans: spans, checks: h.Checks(),
-		phases: h.Phases(), corruptMiss: h.CorruptMissed(), err: err}
-	if c != nil {
-		out.colors = append([]int(nil), c.Colors...)
+	rp := core.TestRandomizedParams()
+	rp.Params = w.Params
+	res, err := a.b.Color(nil, w.Graph,
+		backend.Params{Det: w.Params, Rand: rp, Seed: w.Seed},
+		&backend.RunOptions{Workers: workers, DisableFrontier: !frontier, NetHook: h.Attach})
+	out := checkedRun{checks: h.Checks(), phases: h.Phases(),
+		corruptMiss: h.CorruptMissed(), err: err}
+	if res != nil {
+		out.rounds = res.Rounds
+		out.spans = res.Spans
+		out.colors = append([]int(nil), res.Colors...)
 	}
 	return out
 }
@@ -194,7 +188,9 @@ func pipelineSuite(w Workload) SuiteResult {
 	s := SuiteResult{Suite: "pipeline"}
 	delta := w.Graph.MaxDegree()
 	totalChecks := 0
+	var names []string
 	for _, a := range algosOf(w) {
+		names = append(names, a.name)
 		run := runChecked(w, a, 1, true, "")
 		if run.err != nil {
 			s.Err = fmt.Errorf("%s: %w", a.name, run.err)
@@ -214,7 +210,7 @@ func pipelineSuite(w Workload) SuiteResult {
 		}
 		totalChecks += run.checks
 	}
-	s.Detail = fmt.Sprintf("%d checks", totalChecks)
+	s.Detail = fmt.Sprintf("%d checks (%s)", totalChecks, strings.Join(names, ", "))
 	return s
 }
 

@@ -13,8 +13,9 @@ type Workload struct {
 	Graph *graph.Graph
 	// Params configures the pipelines (ignored for primitive workloads).
 	Params core.Params
-	// Det / Simple / Rand select the pipelines to run and check.
-	Det, Simple, Rand bool
+	// Det / Simple / Rand / Ruling select the registered backends to run
+	// and check (see internal/backend and algosOf).
+	Det, Simple, Rand, Ruling bool
 	// Primitive workloads skip the dense pipelines and instead exercise the
 	// MIS and matching building blocks against their sequential oracles.
 	Primitive bool
@@ -44,10 +45,10 @@ func Matrix() []Workload {
 	patch, _ := graph.HardWithEasyPatch(16, 16)
 	delta63, _ := graph.HardCliqueBipartite(63, 63)
 	return []Workload{
-		{Name: "clique-ring", Graph: ring, Params: scaled, Det: true, Rand: true, Seed: 32},
-		{Name: "dense-blocks", Graph: blocks, Params: scaled, Det: true, Seed: 7},
-		{Name: "hard-bipartite", Graph: hardBip, Params: scaled, Det: true, Simple: true, Rand: true, Seed: 31, PermRounds: true},
-		{Name: "hard-easy-patch", Graph: patch, Params: scaled, Det: true, Rand: true, Seed: 33},
+		{Name: "clique-ring", Graph: ring, Params: scaled, Det: true, Rand: true, Ruling: true, Seed: 32},
+		{Name: "dense-blocks", Graph: blocks, Params: scaled, Det: true, Ruling: true, Seed: 7},
+		{Name: "hard-bipartite", Graph: hardBip, Params: scaled, Det: true, Simple: true, Rand: true, Ruling: true, Seed: 31, PermRounds: true},
+		{Name: "hard-easy-patch", Graph: patch, Params: scaled, Det: true, Rand: true, Ruling: true, Seed: 33},
 		{Name: "tree", Graph: graph.RandomTree(96, rand.New(rand.NewSource(11))), Primitive: true, Seed: 11},
 		{Name: "cycle", Graph: graph.Cycle(48), Primitive: true, Seed: 12},
 		{Name: "random-regular", Graph: graph.RandomRegular(96, 6, rand.New(rand.NewSource(13))), Primitive: true, Seed: 13},

@@ -190,7 +190,7 @@ func DefaultCheckers() []Checker {
 	return []Checker{
 		{
 			Invariant: "acd/lemma2",
-			Phases:    []string{"alg1/acd", "alg4/acd", "simple/acd"},
+			Phases:    []string{"alg1/acd", "alg4/acd", "simple/acd", "ruling/acd"},
 			Check: func(g *graph.Graph, a any) (bool, error) {
 				ck, ok := a.(*core.CkptACD)
 				if !ok {
@@ -201,7 +201,7 @@ func DefaultCheckers() []Checker {
 		},
 		{
 			Invariant: "loophole/lemma9",
-			Phases:    []string{"alg1/classify", "alg4/classify", "simple/classify"},
+			Phases:    []string{"alg1/classify", "alg4/classify", "simple/classify", "ruling/classify"},
 			Check: func(g *graph.Graph, a any) (bool, error) {
 				ck, ok := a.(*core.CkptClassification)
 				if !ok {
@@ -279,14 +279,16 @@ func DefaultCheckers() []Checker {
 		},
 		{
 			Invariant: "rulingset/ruling",
-			Phases:    []string{"alg3/rulingset"},
+			Phases:    []string{"alg3/rulingset", "ruling/rulingset"},
 			Check: func(g *graph.Graph, a any) (bool, error) {
 				ck, ok := a.(*core.CkptRulingSet)
 				if !ok {
 					return false, nil
 				}
-				// The ruling set lives on the virtual loophole graph, so
-				// the artifact carries its own graph.
+				// The ruling set lives on a virtual graph (the loophole
+				// graph G_L, or the hard-clique graph H on the
+				// ruling-subgraph route), so the artifact carries its own
+				// graph.
 				if ck.R == 1 {
 					return true, rulingset.VerifyMIS(ck.G, ck.In)
 				}

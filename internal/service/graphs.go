@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"deltacoloring/internal/backend"
 	"deltacoloring/internal/dynamic"
 	"deltacoloring/internal/invariant"
 )
@@ -44,6 +45,12 @@ type CreateGraphRequest struct {
 	// ceiling (0 keeps the default; negative forces every batch to a full
 	// recompute).
 	FallbackDirtyFraction float64 `json:"fallback_dirty_fraction,omitempty"`
+	// Backend names a registered pipeline backend the store's full
+	// recomputes try first (a true Δ-coloring on dense structures, greedy
+	// deg+1 fallback otherwise). Empty keeps the greedy-only path; unknown
+	// names answer 400. "auto" is not accepted here: a store outlives the
+	// structure the selector would inspect.
+	Backend string `json:"backend,omitempty"`
 }
 
 // GraphResponse describes one store.
@@ -220,6 +227,13 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "exactly one of edge_list, graph, or gen is required")
 		return
 	}
+	if req.Backend != "" {
+		if _, berr := backend.Get(req.Backend); berr != nil {
+			writeError(w, http.StatusBadRequest, "unknown backend %q (want one of: %s)",
+				req.Backend, strings.Join(backend.Names(), ", "))
+			return
+		}
+	}
 	g, err := buildGraph(cr, s.cfg.MaxVertices)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
@@ -228,6 +242,7 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 	live, err := dynamic.New(g, dynamic.Options{
 		FallbackDirtyFraction: req.FallbackDirtyFraction,
 		NetHook:               s.cfg.dynNetHook,
+		Backend:               req.Backend,
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "initial coloring: %v", err)

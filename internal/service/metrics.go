@@ -32,6 +32,7 @@ type metrics struct {
 	cacheMisses      uint64
 
 	phaseRounds map[string]uint64
+	backendJobs map[string]uint64 // backend name -> completed jobs
 
 	dynMutations  uint64
 	dynRecolored  uint64
@@ -59,6 +60,7 @@ type metrics struct {
 func newMetrics() *metrics {
 	return &metrics{
 		phaseRounds:   make(map[string]uint64),
+		backendJobs:   make(map[string]uint64),
 		buckets:       []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10},
 		bucketCounts:  make([]uint64, 8),
 		dynBatches:    make(map[string]uint64),
@@ -91,6 +93,16 @@ func (m *metrics) jobCompleted(d time.Duration) {
 		i++
 	}
 	m.bucketCounts[i]++
+}
+
+// backendJob records one completed run under its resolved backend name.
+func (m *metrics) backendJob(name string) {
+	if name == "" {
+		return
+	}
+	m.mu.Lock()
+	m.backendJobs[name]++
+	m.mu.Unlock()
 }
 
 // dynBatch records one applied mutation batch and its recolor latency.
@@ -206,6 +218,16 @@ func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState, dynGra
 	fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_bucket{le=\"+Inf\"} %d\n", m.dynDurCount)
 	fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_sum %g\n", m.dynDurSum)
 	fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_count %d\n", m.dynDurCount)
+
+	fmt.Fprint(w, "# HELP deltaserved_backend_jobs_total Completed coloring runs by resolved pipeline backend.\n# TYPE deltaserved_backend_jobs_total counter\n")
+	backends := make([]string, 0, len(m.backendJobs))
+	for name := range m.backendJobs {
+		backends = append(backends, name)
+	}
+	sort.Strings(backends)
+	for _, name := range backends {
+		fmt.Fprintf(w, "deltaserved_backend_jobs_total{backend=%q} %d\n", escapeLabel(name), m.backendJobs[name])
+	}
 
 	fmt.Fprint(w, "# HELP deltaserved_phase_rounds_total LOCAL rounds charged per pipeline phase, harvested from local.Span tracing.\n# TYPE deltaserved_phase_rounds_total counter\n")
 	names := make([]string, 0, len(m.phaseRounds))

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"deltacoloring"
+	"deltacoloring/internal/backend"
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/graphio"
 )
@@ -18,6 +19,12 @@ type ColorRequest struct {
 	// Algo selects the algorithm: "det" (Theorem 1, default) or "rand"
 	// (Theorem 2).
 	Algo string `json:"algo,omitempty"`
+	// Backend names a registered pipeline backend to run instead of the
+	// Algo default — any name from the internal/backend registry ("det",
+	// "rand", "simple", "ruling") or "auto" for the portfolio selector,
+	// which picks by Δ, density, and ACD shape. ?backend= on the URL is an
+	// equivalent spelling. Unknown names answer 400 listing the registry.
+	Backend string `json:"backend,omitempty"`
 	// Seed seeds the randomized algorithm (ignored for det).
 	Seed int64 `json:"seed,omitempty"`
 	// Paper selects the paper-exact parameters (ε = 1/63, needs Δ ⪆ 85)
@@ -80,9 +87,12 @@ type ShatterStats struct {
 // ColorResponse is the body of color and job responses. State is one of
 // "queued", "running", "done", or "failed".
 type ColorResponse struct {
-	JobID     string        `json:"job_id,omitempty"`
-	State     string        `json:"state"`
-	Cached    bool          `json:"cached,omitempty"`
+	JobID  string `json:"job_id,omitempty"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	// Backend is the pipeline backend that produced the coloring (the
+	// resolved choice when the request said "auto").
+	Backend   string        `json:"backend,omitempty"`
 	N         int           `json:"n,omitempty"`
 	M         int           `json:"m,omitempty"`
 	Delta     int           `json:"delta,omitempty"`
@@ -127,6 +137,9 @@ func parseRequest(r io.Reader) (*ColorRequest, error) {
 	default:
 		return nil, fmt.Errorf("unknown algo %q (want det or rand)", req.Algo)
 	}
+	if err := validateBackendName(req.Backend); err != nil {
+		return nil, err
+	}
 	if req.TimeoutMS < 0 {
 		return nil, fmt.Errorf("timeout_ms must be non-negative")
 	}
@@ -140,6 +153,21 @@ func parseRequest(r io.Reader) (*ColorRequest, error) {
 		return nil, fmt.Errorf("exactly one of edge_list, graph, or gen is required")
 	}
 	return req, nil
+}
+
+// validateBackendName accepts the empty string (defer to Algo), "auto"
+// (the portfolio selector), and any registered backend name; anything else
+// is a 400 listing the registry so clients can self-correct.
+func validateBackendName(name string) error {
+	switch name {
+	case "", "auto":
+		return nil
+	}
+	if _, err := backend.Get(name); err != nil {
+		return fmt.Errorf("unknown backend %q (want auto or one of: %s)",
+			name, strings.Join(backend.Names(), ", "))
+	}
+	return nil
 }
 
 // buildGraph materializes the request's graph source. maxN caps the vertex
@@ -207,8 +235,14 @@ func buildGen(spec *GenSpec, maxN int) (*graph.Graph, error) {
 // seed, so identical (graph, seed) pairs share an entry.
 func cacheKey(g *graph.Graph, req *ColorRequest) string {
 	key := fmt.Sprintf("%016x|%s|paper=%t", graphio.CanonicalHash(g), req.Algo, req.Paper)
-	if req.Algo == "rand" {
+	if req.Algo == "rand" || req.Backend == "rand" {
 		key += fmt.Sprintf("|seed=%d", req.Seed)
+	}
+	if req.Backend != "" {
+		// Explicit backend choices get their own entries; requests without
+		// one keep the historical key shape. "auto" is cacheable because the
+		// portfolio selector is deterministic per graph.
+		key += "|backend=" + req.Backend
 	}
 	if req.Check {
 		// Checked runs produce bit-identical colorings but a richer response

@@ -30,7 +30,9 @@ import (
 	"time"
 
 	"deltacoloring"
+	"deltacoloring/internal/backend"
 	"deltacoloring/internal/graph"
+	"deltacoloring/internal/invariant"
 	"deltacoloring/internal/local"
 )
 
@@ -413,6 +415,7 @@ type runOutcome struct {
 	res      *deltacoloring.Result
 	shatter  *deltacoloring.RandStats
 	report   *deltacoloring.CheckReport
+	backend  string // resolved backend name ("auto" resolved to the pick)
 	err      error
 	panicked bool
 }
@@ -455,10 +458,12 @@ func (s *Server) runJob(j *job) {
 			elapsed := time.Since(start)
 			resp := resultResponse(j.g, o.res, o.shatter, o.report, float64(elapsed.Microseconds())/1000)
 			resp.JobID = j.id
+			resp.Backend = o.backend
 			if !j.req.NoCache {
 				s.cache.add(j.key, resp)
 			}
 			s.met.jobCompleted(elapsed)
+			s.met.backendJob(o.backend)
 			s.breaker.success()
 			j.finish(resp, http.StatusOK)
 			return
@@ -496,14 +501,20 @@ func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 		out <- runOutcome{err: err}
 		return
 	}
-	opts := &deltacoloring.RunOptions{SpanHook: s.met.addSpan}
 	var (
 		res     *deltacoloring.Result
 		shatter *deltacoloring.RandStats
 		report  *deltacoloring.CheckReport
+		name    string
 		err     error
 	)
-	if j.req.Algo == "rand" {
+	if j.req.Backend != "" {
+		res, shatter, report, name, err = s.runBackend(j)
+	} else if j.req.Algo == "rand" {
+		// No explicit backend: the historical entry points, bit-compatible
+		// with every pre-registry release.
+		opts := &deltacoloring.RunOptions{SpanHook: s.met.addSpan}
+		name = "rand"
 		p := deltacoloring.ScaledRandomizedParams()
 		if j.req.Paper {
 			p = deltacoloring.DefaultRandomizedParams()
@@ -518,6 +529,8 @@ func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 			res, shatter = &rr.Result, &rr.Rand
 		}
 	} else {
+		opts := &deltacoloring.RunOptions{SpanHook: s.met.addSpan}
+		name = "det"
 		p := deltacoloring.ScaledParams()
 		if j.req.Paper {
 			p = deltacoloring.DefaultParams()
@@ -531,7 +544,59 @@ func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 	if err == nil {
 		err = deltacoloring.Verify(j.g, res.Colors)
 	}
-	out <- runOutcome{res: res, shatter: shatter, report: report, err: err}
+	out <- runOutcome{res: res, shatter: shatter, report: report, backend: name, err: err}
+}
+
+// runBackend executes one attempt through the backend registry: the request
+// names a registered backend, or "auto" to let the portfolio selector pick
+// by graph structure. Checked runs attach the conformance harness through
+// the backend's NetHook seam and cross-check the final coloring against the
+// sequential oracle, exactly like the historical checked entry points.
+func (s *Server) runBackend(j *job) (*deltacoloring.Result, *deltacoloring.RandStats, *deltacoloring.CheckReport, string, error) {
+	p := backend.Params{
+		Det:  deltacoloring.ScaledParams(),
+		Rand: deltacoloring.ScaledRandomizedParams(),
+		Seed: j.req.Seed,
+	}
+	if j.req.Paper {
+		p.Det = deltacoloring.DefaultParams()
+		p.Rand = deltacoloring.DefaultRandomizedParams()
+	}
+	p.Rand.Params = p.Det
+	var b backend.Backend
+	if j.req.Backend == "auto" {
+		b = backend.Select(j.g, p)
+	} else {
+		var err error
+		if b, err = backend.Get(j.req.Backend); err != nil {
+			return nil, nil, nil, j.req.Backend, err
+		}
+	}
+	opts := &backend.RunOptions{SpanHook: s.met.addSpan}
+	var h *invariant.Harness
+	if j.req.Check {
+		h = invariant.NewHarness(j.g)
+		opts.NetHook = h.Attach
+	}
+	bres, err := b.Color(j.ctx, j.g, p, opts)
+	if err != nil {
+		return nil, nil, nil, b.Name(), err
+	}
+	res := &deltacoloring.Result{
+		Colors:   bres.Colors,
+		Rounds:   bres.Rounds,
+		Spans:    bres.Spans,
+		Frontier: bres.Frontier,
+		Stats:    bres.Stats,
+	}
+	var report *deltacoloring.CheckReport
+	if h != nil {
+		if oerr := invariant.ReferenceComplete(j.g, res.Colors, j.g.MaxDegree()); oerr != nil {
+			return nil, nil, nil, b.Name(), fmt.Errorf("differential oracle rejected the final coloring: %w", oerr)
+		}
+		report = &deltacoloring.CheckReport{Checks: h.Checks() + 1, Phases: append(h.Phases(), "oracle")}
+	}
+	return res, bres.Rand, report, b.Name(), nil
 }
 
 // retryableFailure reports whether an attempt's failure is worth re-running:
@@ -629,6 +694,15 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	case "", "0", "false":
 	default:
 		req.Check = true
+	}
+	// ?backend= is the query-param spelling of the request's backend field
+	// (it wins over the body when both are present).
+	if qb := r.URL.Query().Get("backend"); qb != "" {
+		if err := validateBackendName(qb); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		req.Backend = qb
 	}
 	g, err := buildGraph(req, s.cfg.MaxVertices)
 	if err != nil {
