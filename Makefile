@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check race chaos conformance coverage-invariant serve bench bench-smoke bench-arena bench-dynamic report report-full report-faults report-frontier fuzz clean
+.PHONY: all build vet test test-short check race chaos chaos-restart conformance coverage-invariant serve bench bench-smoke bench-arena bench-dynamic bench-wal report report-full report-faults report-frontier fuzz clean
 
 # `check` is the default CI path: vet + the full test suite under -race.
 all: build check
@@ -32,6 +32,15 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestPanic|TestQuarantine|TestWatchdog|TestBreaker|TestServerSideRetry|TestIdempotency|TestClientColorRetry|TestHardening|TestServiceChaos' . ./internal/service/
 	$(GO) test -race -count=1 ./internal/faults/ ./internal/repair/
+
+# The restart chaos harness (DESIGN.md §13): a child deltaserved process on
+# a durable data dir is SIGKILLed at seeded points mid-mutation-stream and
+# relaunched; the run fails if any acknowledged batch is lost or any
+# recovered coloring fails the oracle. CHAOS_ROUNDS scales the kill/recover
+# cycles (default 3; nightly soaks can raise it).
+CHAOS_ROUNDS ?= 3
+chaos-restart:
+	$(GO) test -race -count=1 -run 'TestRestartChaos' ./internal/service/ -args -chaos-rounds=$(CHAOS_ROUNDS)
 
 # The deltacheck conformance matrix (EXPERIMENTS.md E20, DESIGN.md §10):
 # every generator family through every pipeline with all phase checkers,
@@ -80,6 +89,14 @@ bench-arena:
 # `-out BENCH_dynamic.json` to regenerate the checked-in artifact.
 bench-dynamic:
 	$(GO) run ./cmd/deltastorm -quick
+
+# The durable-layer benchmark (EXPERIMENTS.md E23): per-batch WAL append
+# overhead under each fsync policy against a bare store on the localized
+# ~1% stream (acceptance bar: fsync=off <= 10%), plus crash-recovery wall
+# time vs replayed log length. Drop -quick and point -out at BENCH_wal.json
+# to regenerate the checked-in artifact.
+bench-wal:
+	$(GO) run ./cmd/deltastorm -wal -quick -out BENCH_wal.ci.json
 
 # The evaluation tables of EXPERIMENTS.md (standard scale, a few minutes),
 # followed by the frontier-occupancy table E19.

@@ -7,10 +7,17 @@
 //	deltaserved [-addr :8090] [-workers 4] [-queue 64] [-cache 256]
 //	            [-timeout 30s] [-max-timeout 5m] [-drain 30s]
 //	            [-max-graphs 16] [-mutation-queue 32]
+//	            [-data-dir DIR] [-fsync always|interval|off] [-checkpoint-every 64]
+//
+// With -data-dir, every dynamic graph is durable: mutation batches are
+// written to a per-graph WAL before they are acknowledged, checkpoints bound
+// replay, startup recovers whatever the last process left behind (readiness
+// gated until done), and a clean shutdown checkpoints every store so the
+// next start replays nothing.
 //
 // Endpoints: POST /v1/color, GET /v1/jobs/{id}, the dynamic-graph surface
 // under /v1/graphs (create/list/get/delete, POST {id}/mutations,
-// GET {id}/coloring), GET /healthz, GET /metrics.
+// GET {id}/coloring), GET /healthz, GET /livez, GET /readyz, GET /metrics.
 // See README.md ("Running the service") for request examples.
 package main
 
@@ -25,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"deltacoloring/internal/durable"
 	"deltacoloring/internal/service"
 )
 
@@ -46,7 +54,14 @@ func run(args []string) error {
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget for in-flight jobs")
 	maxGraphs := fs.Int("max-graphs", 16, "cap on live dynamic graphs (creation past it answers 409)")
 	mutQueue := fs.Int("mutation-queue", 32, "per-graph mutation queue depth (full queue answers 429)")
+	dataDir := fs.String("data-dir", "", "durable state directory (empty: in-memory graphs only)")
+	fsyncFlag := fs.String("fsync", "always", "WAL flush policy: always, interval, or off")
+	ckptEvery := fs.Int("checkpoint-every", 64, "checkpoint a durable graph after this many batches (negative disables)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fsync, err := durable.ParseFsyncPolicy(*fsyncFlag)
+	if err != nil {
 		return err
 	}
 
@@ -58,6 +73,9 @@ func run(args []string) error {
 		MaxTimeout:         *maxTimeout,
 		MaxGraphs:          *maxGraphs,
 		MutationQueueDepth: *mutQueue,
+		DataDir:            *dataDir,
+		Fsync:              fsync,
+		CheckpointEvery:    *ckptEvery,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -67,8 +85,12 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("deltaserved: listening on %s (%d workers, queue %d, cache %d)",
-			*addr, *workers, *queue, *cache)
+		durability := "in-memory graphs"
+		if *dataDir != "" {
+			durability = fmt.Sprintf("durable graphs in %s (fsync=%s)", *dataDir, fsync)
+		}
+		log.Printf("deltaserved: listening on %s (%d workers, queue %d, cache %d, %s)",
+			*addr, *workers, *queue, *cache, durability)
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}

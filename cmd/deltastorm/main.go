@@ -13,6 +13,7 @@
 // Usage:
 //
 //	deltastorm [-quick] [-out BENCH_dynamic.json] [-seed 7]
+//	deltastorm -wal [-quick] [-out BENCH_wal.json]   # durable-layer benchmarks
 package main
 
 import (
@@ -296,7 +297,16 @@ func main() {
 	seed := flag.Int64("seed", 7, "stream seed")
 	frac := flag.Float64("frac", 0.5, "FallbackDirtyFraction for the stores (0 = package default)")
 	noCheck := flag.Bool("no-check", false, "skip the per-batch oracle (timing is unaffected either way)")
+	wal := flag.Bool("wal", false, "benchmark the durable WAL layer instead (fsync overhead + recovery time)")
 	flag.Parse()
+
+	if *wal {
+		if err := runWALBench(*quick, *seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "deltastorm: wal: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	batches := 200
 	if *quick {

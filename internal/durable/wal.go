@@ -1,0 +1,360 @@
+// Package durable gives the dynamic-graph store (internal/dynamic) crash-stop
+// durability: a per-graph write-ahead log of acknowledged mutation batches
+// plus periodic checkpoint snapshots of the full store state, and a recovery
+// path that replays checkpoint+tail, tolerates torn or corrupt log tails, and
+// re-verifies every recovered coloring against the sequential oracle before
+// it is ever served.
+//
+// The layering mirrors the repository's fault philosophy (DESIGN.md §8, §11):
+// the LOCAL model the paper analyses is fault-free, so recoverability is a
+// system-layer concern. A crashed process loses only work that was never
+// acknowledged; under the `always` fsync policy an acknowledged batch is on
+// stable storage before the client sees the ack, and a recovered graph either
+// serves a coloring that passed the oracle or reports itself unhealthy with
+// its last known good snapshot — never a silently invalid coloring.
+//
+// On-disk layout, one directory per graph:
+//
+//	<dir>/checkpoint.ckpt   atomic (tmp+rename) snapshot: CSR graph, colors,
+//	                        tombstones, health, last-good, stats, options
+//	<dir>/wal.log           header + length-prefixed CRC32C-checksummed
+//	                        records, one per acknowledged batch, versioned
+//
+// See DESIGN.md §13 for the record format and the exact recovery contract.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"deltacoloring/internal/dynamic"
+)
+
+// FsyncPolicy names when the WAL is flushed to stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways syncs after every append, before the batch is
+	// acknowledged: a crash loses no acknowledged batch.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval syncs on a background ticker (Config.FsyncInterval): a
+	// crash loses at most the last interval's acknowledged batches.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncOff never syncs explicitly: the OS flushes at its leisure, and a
+	// crash may lose any batch since the last checkpoint. Appends still hit
+	// the page cache, so a clean process exit loses nothing.
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParseFsyncPolicy validates a policy name (the -fsync flag).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+		return FsyncPolicy(s), nil
+	case "":
+		return FsyncAlways, nil
+	}
+	return "", fmt.Errorf("durable: unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+var (
+	walMagic  = []byte("DWAL\x00\x01\x00\x00")
+	ckptMagic = []byte("DCKP\x00\x01\x00\x00")
+	castTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// walRecordHeader is the fixed per-record framing: payload length then
+// CRC32C of the payload.
+const walRecordHeader = 8
+
+// maxRecordPayload guards ReadWAL against a corrupt length field committing
+// the reader to a giant allocation; a batch is bounded by the service's
+// MaxMutationsPerBatch at a few bytes per mutation, so 64 MiB is generous.
+const maxRecordPayload = 64 << 20
+
+// Record is one decoded WAL entry: the mutation batch acknowledged at
+// Version (i.e. the batch that advanced the store from Version-1).
+type Record struct {
+	Version int64
+	Batch   []dynamic.Mutation
+	// Offset and Size locate the framed record in the file (inspection).
+	Offset int64
+	Size   int64
+}
+
+// opCode maps the mutation vocabulary onto single bytes for the WAL payload.
+func opCode(op dynamic.Op) (byte, error) {
+	switch op {
+	case dynamic.OpAddEdge:
+		return 1, nil
+	case dynamic.OpRemoveEdge:
+		return 2, nil
+	case dynamic.OpAddVertex:
+		return 3, nil
+	case dynamic.OpRemoveVertex:
+		return 4, nil
+	}
+	return 0, fmt.Errorf("durable: unknown mutation op %q", op)
+}
+
+func opFromCode(c byte) (dynamic.Op, error) {
+	switch c {
+	case 1:
+		return dynamic.OpAddEdge, nil
+	case 2:
+		return dynamic.OpRemoveEdge, nil
+	case 3:
+		return dynamic.OpAddVertex, nil
+	case 4:
+		return dynamic.OpRemoveVertex, nil
+	}
+	return "", fmt.Errorf("durable: unknown mutation opcode %d", c)
+}
+
+// encodeRecord frames one record: 4-byte payload length, 4-byte CRC32C,
+// payload = version + batch.
+func encodeRecord(version int64, batch []dynamic.Mutation) ([]byte, error) {
+	payload := make([]byte, 0, 16+4*len(batch))
+	payload = binary.LittleEndian.AppendUint64(payload, uint64(version))
+	payload = binary.AppendUvarint(payload, uint64(len(batch)))
+	for _, m := range batch {
+		c, err := opCode(m.Op)
+		if err != nil {
+			return nil, err
+		}
+		payload = append(payload, c)
+		payload = binary.AppendVarint(payload, int64(m.U))
+		payload = binary.AppendVarint(payload, int64(m.V))
+	}
+	rec := make([]byte, 0, walRecordHeader+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(payload, castTable))
+	return append(rec, payload...), nil
+}
+
+// decodePayload parses one checksummed payload back into a record.
+func decodePayload(payload []byte) (int64, []dynamic.Mutation, error) {
+	if len(payload) < 9 {
+		return 0, nil, errors.New("durable: record payload too short")
+	}
+	version := int64(binary.LittleEndian.Uint64(payload))
+	rest := payload[8:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, nil, errors.New("durable: bad batch length")
+	}
+	rest = rest[n:]
+	if count > uint64(len(rest)) { // each mutation is at least 1 byte
+		return 0, nil, fmt.Errorf("durable: batch length %d exceeds payload", count)
+	}
+	batch := make([]dynamic.Mutation, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) == 0 {
+			return 0, nil, errors.New("durable: truncated mutation")
+		}
+		op, err := opFromCode(rest[0])
+		if err != nil {
+			return 0, nil, err
+		}
+		rest = rest[1:]
+		u, n := binary.Varint(rest)
+		if n <= 0 {
+			return 0, nil, errors.New("durable: bad mutation endpoint")
+		}
+		rest = rest[n:]
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return 0, nil, errors.New("durable: bad mutation endpoint")
+		}
+		rest = rest[n:]
+		batch = append(batch, dynamic.Mutation{Op: op, U: int(u), V: int(v)})
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("durable: %d trailing payload bytes", len(rest))
+	}
+	return version, batch, nil
+}
+
+// WALInfo summarizes one log scan.
+type WALInfo struct {
+	// Records are the valid entries, in file order.
+	Records []Record
+	// ValidLen is the byte offset after the last valid record; everything
+	// past it is a torn or corrupt tail that recovery truncates.
+	ValidLen int64
+	// FileLen is the file's actual size.
+	FileLen int64
+	// TornReason is non-empty when FileLen > ValidLen, naming why the tail
+	// was rejected (short header, short payload, CRC mismatch, ...).
+	TornReason string
+}
+
+// Torn reports whether the scan found bytes past the last valid record.
+func (w *WALInfo) Torn() bool { return w.FileLen > w.ValidLen }
+
+// ReadWAL scans a log file, stopping at the first torn or corrupt record. A
+// missing file is an empty log; only I/O errors (not corruption) are
+// returned as errors — corruption is data, reported in the WALInfo, because
+// recovery's job is to truncate it, not to fail on it.
+func ReadWAL(path string) (*WALInfo, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &WALInfo{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: read wal: %w", err)
+	}
+	info := &WALInfo{FileLen: int64(len(data))}
+	if len(data) < len(walMagic) {
+		info.TornReason = "short or missing header"
+		return info, nil
+	}
+	if string(data[:len(walMagic)]) != string(walMagic) {
+		info.TornReason = "bad magic"
+		return info, nil
+	}
+	off := int64(len(walMagic))
+	info.ValidLen = off
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < walRecordHeader {
+			info.TornReason = "torn record header"
+			return info, nil
+		}
+		plen := int64(binary.LittleEndian.Uint32(rest))
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		if plen > maxRecordPayload {
+			info.TornReason = fmt.Sprintf("implausible payload length %d", plen)
+			return info, nil
+		}
+		if int64(len(rest)) < walRecordHeader+plen {
+			info.TornReason = "torn record payload"
+			return info, nil
+		}
+		payload := rest[walRecordHeader : walRecordHeader+plen]
+		if crc32.Checksum(payload, castTable) != crc {
+			info.TornReason = "CRC mismatch"
+			return info, nil
+		}
+		version, batch, derr := decodePayload(payload)
+		if derr != nil {
+			info.TornReason = derr.Error()
+			return info, nil
+		}
+		info.Records = append(info.Records, Record{
+			Version: version,
+			Batch:   batch,
+			Offset:  off,
+			Size:    walRecordHeader + plen,
+		})
+		off += walRecordHeader + plen
+		info.ValidLen = off
+	}
+	return info, nil
+}
+
+// walWriter appends framed records to an open log file.
+type walWriter struct {
+	f    *os.File
+	size int64
+}
+
+// createWAL writes a fresh log (header only), syncing it and its directory.
+func createWAL(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: create wal: %w", err)
+	}
+	if _, err := f.Write(walMagic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: write wal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: sync wal: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, size: int64(len(walMagic))}, nil
+}
+
+// openWAL opens an existing log for appending at validLen, truncating any
+// torn tail past it first.
+func openWAL(path string, validLen int64) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		return createWAL(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+	if validLen < int64(len(walMagic)) {
+		// Header itself was torn: rewrite from scratch.
+		f.Close()
+		return createWAL(path)
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: truncate wal: %w", err)
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: seek wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("durable: sync wal: %w", err)
+	}
+	return &walWriter{f: f, size: validLen}, nil
+}
+
+// append frames and writes one record; flushing is the caller's policy.
+func (w *walWriter) append(version int64, batch []dynamic.Mutation) (int, error) {
+	rec, err := encodeRecord(version, batch)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.f.Write(rec)
+	w.size += int64(n)
+	if err != nil {
+		return n, fmt.Errorf("durable: append wal record: %w", err)
+	}
+	return n, nil
+}
+
+func (w *walWriter) sync() error { return w.f.Sync() }
+
+// reset truncates the log back to its header (after a checkpoint subsumed
+// the records) and syncs.
+func (w *walWriter) reset() error {
+	if err := w.f.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("durable: reset wal: %w", err)
+	}
+	if _, err := w.f.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return fmt.Errorf("durable: reset wal: %w", err)
+	}
+	w.size = int64(len(walMagic))
+	return w.f.Sync()
+}
+
+func (w *walWriter) close() error { return w.f.Close() }
+
+// syncDir fsyncs a directory so renames and creates in it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: open dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -38,6 +38,13 @@ const (
 	ModeRecompute   = "recompute"
 )
 
+// ErrMaintenance marks an Apply or Recompute failure that is the store's
+// fault, not the batch's: the structure advanced (for Apply) but its coloring
+// could not be maintained, and the store turned unhealthy. Callers separate
+// it from validation rejections with errors.Is; the durable layer logs the
+// batch anyway because the structural change was acknowledged.
+var ErrMaintenance = errors.New("maintenance failed")
+
 // Options tunes a Live store. The zero value is usable.
 type Options struct {
 	// FallbackDirtyFraction is the incremental-maintenance ceiling: when a
@@ -241,7 +248,7 @@ func (l *Live) Apply(batch []Mutation) (*ApplyResult, error) {
 			}
 			l.stats.Failures++
 			l.mu.Unlock()
-			return nil, fmt.Errorf("dynamic: maintenance failed at version %d: %w", res.Version, rerr)
+			return nil, fmt.Errorf("dynamic: %w at version %d: %w", ErrMaintenance, res.Version, rerr)
 		}
 		res.Mode = ModeRecompute
 	}
@@ -286,7 +293,7 @@ func (l *Live) Recompute() (*ApplyResult, error) {
 		l.healthy = false
 		l.stats.Failures++
 		l.mu.Unlock()
-		return nil, fmt.Errorf("dynamic: recompute failed: %w", err)
+		return nil, fmt.Errorf("dynamic: recompute %w: %w", ErrMaintenance, err)
 	}
 	l.mu.Lock()
 	l.colors = colors
@@ -373,4 +380,119 @@ func (l *Live) snapshotLocked() *Snapshot {
 	colors := make([]int, len(l.colors))
 	copy(colors, l.colors)
 	return &Snapshot{G: l.g, Colors: colors, NumColors: l.numColors, Version: l.version}
+}
+
+// Version returns the store's current version (it advances on every applied
+// batch, including batches whose maintenance failed).
+func (l *Live) Version() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.version
+}
+
+// State is the complete durable image of a Live store: everything a process
+// needs to reconstruct it after a crash. It is what internal/durable
+// serializes into checkpoint snapshots. All slices are owned by the State.
+type State struct {
+	G         *graph.Graph
+	Colors    []int
+	NumColors int
+	Removed   []bool
+	Version   int64
+	Healthy   bool
+	// LastGood is the newest verified snapshot; when Healthy it equals the
+	// current state and checkpoint writers may elide it.
+	LastGood *Snapshot
+	Stats    Stats
+	// FallbackDirtyFraction and Backend are the store-identity options; the
+	// process-level ones (Workers, NetHook) are supplied fresh at recovery.
+	FallbackDirtyFraction float64
+	Backend               string
+}
+
+// State deep-copies the store's durable image under the state lock.
+func (l *Live) State() State {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := State{
+		G:                     l.g,
+		Colors:                append([]int(nil), l.colors...),
+		NumColors:             l.numColors,
+		Removed:               append([]bool(nil), l.removed...),
+		Version:               l.version,
+		Healthy:               l.healthy,
+		Stats:                 l.stats,
+		FallbackDirtyFraction: l.opts.FallbackDirtyFraction,
+		Backend:               l.opts.Backend,
+	}
+	if l.lastGood != nil {
+		lg := *l.lastGood
+		lg.Colors = append([]int(nil), l.lastGood.Colors...)
+		st.LastGood = &lg
+	}
+	return st
+}
+
+// NewFromState reconstructs a store from a durable image without recoloring:
+// the recovery constructor behind internal/durable. It validates shape (slice
+// lengths against the graph) and the options, and trusts the caller for
+// coloring validity — the durable layer re-verifies every recovered coloring
+// against the sequential oracle and downgrades Healthy before calling this,
+// so an invalid checkpoint is never served as healthy. Process-level options
+// (Workers, NetHook) come from opts; store-identity options (Backend,
+// FallbackDirtyFraction) come from the state itself.
+func NewFromState(st State, opts Options) (*Live, error) {
+	if st.G == nil {
+		return nil, errors.New("dynamic: state has no graph")
+	}
+	n := st.G.N()
+	if len(st.Colors) != n || len(st.Removed) != n {
+		return nil, fmt.Errorf("dynamic: state shape mismatch: n=%d, %d colors, %d removed flags",
+			n, len(st.Colors), len(st.Removed))
+	}
+	if st.Version < 1 {
+		return nil, fmt.Errorf("dynamic: state version %d < 1", st.Version)
+	}
+	if st.LastGood != nil && len(st.LastGood.Colors) != st.LastGood.G.N() {
+		return nil, fmt.Errorf("dynamic: last-good shape mismatch: n=%d, %d colors",
+			st.LastGood.G.N(), len(st.LastGood.Colors))
+	}
+	opts.FallbackDirtyFraction = st.FallbackDirtyFraction
+	opts.Backend = st.Backend
+	if opts.Backend != "" {
+		if _, err := backend.Get(opts.Backend); err != nil {
+			return nil, fmt.Errorf("dynamic: %w", err)
+		}
+	}
+	l := &Live{
+		opts:      opts.withDefaults(),
+		g:         st.G,
+		colors:    append([]int(nil), st.Colors...),
+		numColors: st.NumColors,
+		removed:   append([]bool(nil), st.Removed...),
+		version:   st.Version,
+		healthy:   st.Healthy,
+		stats:     st.Stats,
+	}
+	if st.LastGood != nil {
+		lg := *st.LastGood
+		lg.Colors = append([]int(nil), st.LastGood.Colors...)
+		l.lastGood = &lg
+	} else if st.Healthy {
+		l.lastGood = l.snapshotLocked()
+	}
+	return l, nil
+}
+
+// Invalidate marks the current coloring as failed post-hoc verification (the
+// recovery path's oracle found a violation the in-band checks missed). The
+// store turns unhealthy; if last-good is the same version it is dropped too,
+// so readers get 503 rather than the refuted snapshot.
+func (l *Live) Invalidate() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.healthy = false
+	if l.lastGood != nil && l.lastGood.Version == l.version {
+		l.lastGood = nil
+	}
 }

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeBinaryRoundTrip(t *testing.T) {
+	gs := map[string]*Graph{
+		"empty":    NewBuilder(0).MustBuild(),
+		"isolated": NewBuilder(5).MustBuild(),
+		"torus":    Torus(6, 7),
+		"erdos":    ErdosRenyi(200, 0.05, rand.New(rand.NewSource(3))),
+	}
+	// An ID-permuted graph: recovery must preserve symmetry-breaking IDs.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	for v := 0; v < 4; v++ {
+		b.SetID(v, uint64(100-v))
+	}
+	gs["permuted"] = b.MustBuild()
+
+	for name, g := range gs {
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, g); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if buf.Len() != encodeBinarySize(g) {
+			t.Fatalf("%s: encoded %d bytes, size hint %d", name, buf.Len(), encodeBinarySize(g))
+		}
+		got, err := DecodeBinary(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got.N() != g.N() || got.M() != g.M() || got.MaxDegree() != g.MaxDegree() {
+			t.Fatalf("%s: round trip changed shape: %v vs %v", name, got, g)
+		}
+		for v := 0; v < g.N(); v++ {
+			if got.ID(v) != g.ID(v) {
+				t.Fatalf("%s: ID(%d) = %d, want %d", name, v, got.ID(v), g.ID(v))
+			}
+			a, b := got.Neighbors(v), g.Neighbors(v)
+			if len(a) != len(b) {
+				t.Fatalf("%s: degree of %d changed", name, v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: adjacency of %d changed", name, v)
+				}
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%s: decoded graph invalid: %v", name, err)
+		}
+	}
+}
+
+func TestDecodeBinaryRejectsCorruption(t *testing.T) {
+	g := Torus(5, 5)
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	// Truncations at every prefix length must error, never panic.
+	for cut := 0; cut < len(clean); cut += 7 {
+		if _, err := DecodeBinary(bytes.NewReader(clean[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Single-byte corruptions must either fail validation or decode to a
+	// graph that still passes Validate (flips confined to the ID section can
+	// be structurally harmless).
+	for i := 0; i < len(clean); i += 11 {
+		mut := append([]byte(nil), clean...)
+		mut[i] ^= 0x40
+		got, err := DecodeBinary(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("byte %d: decode accepted a graph failing Validate: %v", i, verr)
+		}
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"deltacoloring/internal/backend"
+	"deltacoloring/internal/durable"
 	"deltacoloring/internal/dynamic"
 	"deltacoloring/internal/invariant"
 )
@@ -103,18 +105,35 @@ type mutReply struct {
 	err error
 }
 
-// graphStore is one live graph behind the API: the dynamic store plus the
-// bounded queue its apply loop drains.
+// graphStore is one live graph behind the API: the dynamic store, the
+// bounded queue its apply loop drains, and (in durable mode) the WAL +
+// checkpoint store that logs every batch before it is acknowledged.
 type graphStore struct {
-	id   string
-	live *dynamic.Live
+	id    string
+	live  *dynamic.Live
+	store *durable.Store // nil in memory-only mode
 
 	mu     sync.RWMutex // guards jobs sends against close
 	closed bool
 	jobs   chan *mutJob
+	// loopDone closes when the apply loop exits: deletion drains the loop
+	// through it before touching durable state, so an in-flight batch can
+	// never race the store's removal.
+	loopDone chan struct{}
 }
 
-var errGraphClosed = errors.New("graph store is closed")
+// apply routes one batch through the WAL when the graph is durable.
+func (gs *graphStore) apply(batch []dynamic.Mutation) (*dynamic.ApplyResult, error) {
+	if gs.store != nil {
+		return gs.store.Apply(batch)
+	}
+	return gs.live.Apply(batch)
+}
+
+var (
+	errGraphClosed = errors.New("graph store is closed")
+	errGraphLimit  = errors.New("graph limit reached")
+)
 
 // submit enqueues a batch without blocking; a full queue is backpressure.
 func (gs *graphStore) submit(j *mutJob) error {
@@ -144,9 +163,10 @@ func (gs *graphStore) close() {
 // applyLoop serializes one store's batches and feeds the dynamic metrics.
 func (s *Server) applyLoop(gs *graphStore) {
 	defer s.graphsWG.Done()
+	defer close(gs.loopDone)
 	for j := range gs.jobs {
 		start := time.Now()
-		res, err := gs.live.Apply(j.batch)
+		res, err := gs.apply(j.batch)
 		if err != nil {
 			// Validation rejections (the client's fault, store untouched)
 			// answer 400 and are not maintenance failures.
@@ -160,20 +180,41 @@ func (s *Server) applyLoop(gs *graphStore) {
 	}
 }
 
-// registerGraph installs a store under a fresh ID, enforcing MaxGraphs.
+// registerGraph installs a store under a fresh ID, enforcing MaxGraphs. In
+// durable mode the WAL directory is initialized between ID allocation and
+// installation — off the graphs lock, since it does disk I/O — with the
+// reservation counter keeping concurrent creates under the limit.
 func (s *Server) registerGraph(live *dynamic.Live) (*graphStore, error) {
 	s.gmu.Lock()
-	defer s.gmu.Unlock()
-	if len(s.graphs) >= s.cfg.MaxGraphs {
-		return nil, fmt.Errorf("graph limit reached (%d); delete one first", s.cfg.MaxGraphs)
+	if len(s.graphs)+s.graphsResv >= s.cfg.MaxGraphs {
+		s.gmu.Unlock()
+		return nil, fmt.Errorf("%w (%d); delete one first", errGraphLimit, s.cfg.MaxGraphs)
 	}
 	s.graphSeq++
+	s.graphsResv++
+	id := fmt.Sprintf("g%06d", s.graphSeq)
+	s.gmu.Unlock()
+
 	gs := &graphStore{
-		id:   fmt.Sprintf("g%06d", s.graphSeq),
-		live: live,
-		jobs: make(chan *mutJob, s.cfg.MutationQueueDepth),
+		id:       id,
+		live:     live,
+		jobs:     make(chan *mutJob, s.cfg.MutationQueueDepth),
+		loopDone: make(chan struct{}),
 	}
-	s.graphs[gs.id] = gs
+	if s.cfg.DataDir != "" {
+		st, err := durable.Create(filepath.Join(s.cfg.DataDir, id), live, s.durableConfig())
+		if err != nil {
+			s.gmu.Lock()
+			s.graphsResv--
+			s.gmu.Unlock()
+			return nil, fmt.Errorf("durable init for %s: %w", id, err)
+		}
+		gs.store = st
+	}
+	s.gmu.Lock()
+	s.graphsResv--
+	s.graphs[id] = gs
+	s.gmu.Unlock()
 	s.graphsWG.Add(1)
 	go s.applyLoop(gs)
 	return gs, nil
@@ -208,6 +249,9 @@ func (s *Server) graphCount() int {
 func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
 		writeError(w, http.StatusServiceUnavailable, "%v", errShuttingDown)
+		return
+	}
+	if s.gateRecovery(w) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -250,7 +294,11 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	gs, err := s.registerGraph(live)
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		status := http.StatusInternalServerError // durable init failed
+		if errors.Is(err, errGraphLimit) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, &GraphResponse{ID: gs.id, Info: live.Info()})
@@ -278,6 +326,9 @@ func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	if s.gateRecovery(w) {
+		return
+	}
 	id := r.PathValue("id")
 	s.gmu.Lock()
 	gs, ok := s.graphs[id]
@@ -289,11 +340,25 @@ func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown graph %q", id)
 		return
 	}
+	// Drain before destroy: close stops new submits, then the apply loop
+	// finishes answering every batch already queued — only then is it safe
+	// to tear down durable state (and only then has the ID truly quiesced).
 	gs.close()
+	<-gs.loopDone
+	if gs.store != nil {
+		s.foldWALStats(gs.store)
+		if err := gs.store.Destroy(); err != nil {
+			writeError(w, http.StatusInternalServerError, "destroy durable state: %v", err)
+			return
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
+	if s.gateRecovery(w) {
+		return
+	}
 	gs, ok := s.lookupGraph(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown graph %q", r.PathValue("id"))
@@ -329,9 +394,11 @@ func (s *Server) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
 	case rep := <-j.reply:
 		if rep.err != nil {
 			// A rejected batch (validation) leaves the store untouched: 400.
-			// A maintenance failure leaves it unhealthy serving last-good: 500.
+			// A maintenance failure leaves it unhealthy serving last-good,
+			// and a WAL failure voids the batch's durability guarantee: both
+			// are the server's fault, 500.
 			status := http.StatusBadRequest
-			if maintenanceFailure(rep.err) {
+			if maintenanceFailure(rep.err) || errors.Is(rep.err, durable.ErrWAL) {
 				status = http.StatusInternalServerError
 			}
 			writeJSON(w, status, &MutateResponse{ID: gs.id, Healthy: gs.live.Healthy(), Error: rep.err.Error()})
@@ -347,10 +414,9 @@ func (s *Server) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
 
 // maintenanceFailure distinguishes a failed maintenance (server's fault,
 // store unhealthy, 500) from a rejected batch (client's fault, store
-// unchanged, 400) by the dynamic package's error wrapping.
+// unchanged, 400).
 func maintenanceFailure(err error) bool {
-	return err != nil && (strings.Contains(err.Error(), "maintenance failed") ||
-		strings.Contains(err.Error(), "recompute failed"))
+	return errors.Is(err, dynamic.ErrMaintenance)
 }
 
 func (s *Server) handleGraphColoring(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"deltacoloring/internal/durable"
 	"deltacoloring/internal/dynamic"
 	"deltacoloring/internal/local"
 )
@@ -164,9 +165,10 @@ func escapeLabel(v string) string {
 }
 
 // writeTo renders the registry in Prometheus text exposition format.
-// Gauges that live outside the registry (queue depth, worker count) are
-// passed in by the server at scrape time.
-func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState, dynGraphs int) {
+// Gauges that live outside the registry (queue depth, worker count) and the
+// durability counters (aggregated across stores) are passed in by the
+// server at scrape time.
+func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState, dynGraphs int, wal durable.WALStats, rec recoverySummary) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -218,6 +220,19 @@ func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState, dynGra
 	fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_bucket{le=\"+Inf\"} %d\n", m.dynDurCount)
 	fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_sum %g\n", m.dynDurSum)
 	fmt.Fprintf(w, "deltaserved_dynamic_recolor_seconds_count %d\n", m.dynDurCount)
+
+	counter("deltaserved_wal_appends_total", "Mutation batches appended to graph write-ahead logs.", wal.Appends)
+	counter("deltaserved_wal_append_bytes_total", "Bytes appended to graph write-ahead logs.", wal.AppendBytes)
+	counter("deltaserved_wal_fsyncs_total", "fsync calls issued by graph write-ahead logs.", wal.Fsyncs)
+	counter("deltaserved_wal_append_errors_total", "Batches whose WAL append or flush failed (durability voided, answered 500).", wal.AppendErrors)
+	counter("deltaserved_wal_checkpoints_total", "Checkpoint snapshots written (creation, cadence, shutdown, recovery).", wal.Checkpoints)
+	counter("deltaserved_recovery_graphs_total", "Durable graph directories found at startup.", uint64(rec.graphs))
+	counter("deltaserved_recovery_unhealthy_total", "Graphs recovered unhealthy (serving last-known-good or 503).", uint64(rec.unhealthy))
+	counter("deltaserved_recovery_failed_total", "Graph directories whose recovery failed outright (skipped).", uint64(rec.failed))
+	counter("deltaserved_recovery_replayed_total", "WAL tail records replayed across all recovered graphs.", uint64(rec.replayed))
+	counter("deltaserved_recovery_skipped_total", "Duplicate WAL records skipped during replay (already in a checkpoint).", uint64(rec.skipped))
+	counter("deltaserved_recovery_truncated_bytes_total", "Torn or corrupt WAL tail bytes truncated during recovery.", uint64(rec.truncated))
+	fmt.Fprintf(w, "# HELP deltaserved_recovery_seconds Total wall time spent recovering durable graphs at startup.\n# TYPE deltaserved_recovery_seconds gauge\ndeltaserved_recovery_seconds %g\n", float64(rec.nanos)/1e9)
 
 	fmt.Fprint(w, "# HELP deltaserved_backend_jobs_total Completed coloring runs by resolved pipeline backend.\n# TYPE deltaserved_backend_jobs_total counter\n")
 	backends := make([]string, 0, len(m.backendJobs))

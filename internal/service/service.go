@@ -31,6 +31,7 @@ import (
 
 	"deltacoloring"
 	"deltacoloring/internal/backend"
+	"deltacoloring/internal/durable"
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/invariant"
 	"deltacoloring/internal/local"
@@ -86,6 +87,19 @@ type Config struct {
 	// MaxMutationsPerBatch bounds one POST /v1/graphs/{id}/mutations body
 	// (default 4096).
 	MaxMutationsPerBatch int
+	// DataDir, when set, makes every dynamic graph durable: WAL +
+	// checkpoints under DataDir/<graph-id>, background recovery at startup
+	// (readiness gated until it finishes), flush + final checkpoint on
+	// graceful shutdown. Empty keeps the historical in-memory-only mode.
+	DataDir string
+	// Fsync is the WAL flush policy for durable graphs ("" = always).
+	Fsync durable.FsyncPolicy
+	// FsyncInterval is the background flush cadence under the "interval"
+	// policy (default 100ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery snapshots each durable graph and truncates its log
+	// after this many batches (default 64; negative disables).
+	CheckpointEvery int
 
 	// runHook, when set, runs on the worker goroutine just before a job's
 	// pipeline starts (once per attempt). It is a test seam for making
@@ -240,10 +254,17 @@ type Server struct {
 	jobOrder []string
 	jobSeq   uint64
 
-	gmu      sync.Mutex
-	graphs   map[string]*graphStore
-	graphSeq uint64
-	graphsWG sync.WaitGroup
+	gmu        sync.Mutex
+	graphs     map[string]*graphStore
+	graphSeq   uint64
+	graphsWG   sync.WaitGroup
+	graphsResv int               // IDs allocated but not yet installed
+	walBase    durable.WALStats  // retired counters from destroyed stores
+
+	recovering  atomic.Bool
+	recMu       sync.Mutex
+	recReports  []GraphRecovery
+	recFleetErr string
 }
 
 // New builds a server and starts its worker pool.
@@ -269,10 +290,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/graphs/{id}/mutations", s.handleGraphMutate)
 	s.mux.HandleFunc("GET /v1/graphs/{id}/coloring", s.handleGraphColoring)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.DataDir != "" {
+		// Recovery replays off the request path; the graph surface answers
+		// 503 + Retry-After and /readyz stays false until it finishes.
+		s.recovering.Store(true)
+		go s.recoverAll()
 	}
 	return s
 }
@@ -299,7 +328,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
-		return nil
+		// Every apply loop has drained: flush and checkpoint each durable
+		// store so the next start needs no replay.
+		var errOut error
+		s.gmu.Lock()
+		stores := make([]*durable.Store, 0, len(s.graphs))
+		for _, gs := range s.graphs {
+			if gs.store != nil {
+				stores = append(stores, gs.store)
+			}
+		}
+		s.gmu.Unlock()
+		for _, st := range stores {
+			if err := st.Close(); err != nil && errOut == nil {
+				errOut = err
+			}
+		}
+		return errOut
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -866,11 +911,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"breaker_opens": bOpens,
 		"quarantined":   s.quarantinedCount(),
 		"graphs":        s.graphCount(),
+		"recovering":    s.recovering.Load(),
 	})
+}
+
+// handleLivez is pure liveness: the process is up and serving HTTP. It stays
+// 200 through recovery and shutdown drain — restarting a replaying server
+// because its data plane is gated would only lose the replay work.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "alive"})
+}
+
+// handleReadyz is readiness: 503 while WAL recovery is replaying or the
+// server is shutting down, with the per-graph recovery outcomes in the
+// payload either way.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ready"
+	switch {
+	case s.recovering.Load():
+		status = http.StatusServiceUnavailable
+		state = "recovering"
+		w.Header().Set("Retry-After", "1")
+	case s.closed.Load():
+		status = http.StatusServiceUnavailable
+		state = "shutting down"
+	}
+	reports, fleetErr := s.recoveryStatus()
+	body := map[string]any{
+		"status": state,
+		"graphs": s.graphCount(),
+	}
+	if s.cfg.DataDir != "" {
+		body["data_dir"] = s.cfg.DataDir
+		body["recovery"] = reports
+		if fleetErr != "" {
+			body["recovery_error"] = fleetErr
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	bState, _ := s.breaker.snapshot()
-	s.met.writeTo(w, len(s.queue), s.cfg.Workers, bState, s.graphCount())
+	s.met.writeTo(w, len(s.queue), s.cfg.Workers, bState, s.graphCount(), s.walTotals(), s.recoveryTotals())
 }
