@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check race chaos chaos-restart conformance coverage-invariant serve bench bench-smoke bench-arena bench-dynamic bench-wal report report-full report-faults report-frontier fuzz clean
+.PHONY: all build vet test test-short check race chaos chaos-restart conformance coverage-invariant serve bench bench-smoke bench-arena bench-dynamic bench-wal bench-scale report report-full report-faults report-frontier fuzz clean
 
 # `check` is the default CI path: vet + the full test suite under -race.
 all: build check
@@ -97,6 +97,15 @@ bench-dynamic:
 # to regenerate the checked-in artifact.
 bench-wal:
 	$(GO) run ./cmd/deltastorm -wal -quick -out BENCH_wal.ci.json
+
+# The big-graph substrate benchmark (EXPERIMENTS.md table E24): streamed
+# parallel CSR builds, binary-format write, mmap reopen, and deg+1 coloring
+# on the circulant family, plus the clique ring through the full pipeline,
+# all oracle-verified at subsampled n before timing. Quick scale is the CI
+# smoke; run with -scale standard and -bench-out BENCH_scale.json to
+# regenerate the checked-in artifact.
+bench-scale:
+	$(GO) run ./cmd/deltabench -scalebench -scale quick -bench-out BENCH_scale.ci.json
 
 # The evaluation tables of EXPERIMENTS.md (standard scale, a few minutes),
 # followed by the frontier-occupancy table E19.

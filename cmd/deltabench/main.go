@@ -8,6 +8,7 @@
 //	deltabench -arena [-bench-iters n] [-bench-out BENCH_arena.json]
 //	deltabench -faults [-scale quick|standard|full]
 //	deltabench -frontier [-scale quick|standard|full]
+//	deltabench -scalebench [-scale quick|standard|full] [-bench-out BENCH_scale.json]
 //	deltabench ... [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // Standard scale finishes in a few minutes; full scale adds the paper-exact
@@ -30,6 +31,13 @@
 // workload reports its sparse-round share and skipped vertex evaluations,
 // cross-checked round-for-round against the dense engine (EXPERIMENTS.md
 // table E19, DESIGN.md "Frontier scheduling contract").
+// -scalebench runs the big-graph substrate benchmarks (EXPERIMENTS.md table
+// E24) sized by -scale (quick n=2·10⁵ CI smoke, standard 10⁶, full 10⁷):
+// streamed parallel CSR builds, binary format write, mmap reopen, deg+1
+// greedy coloring on the mapped view, and the clique-ring family through
+// the full deterministic pipeline, reporting ns/edge and peak RSS per
+// phase. Both workload shapes are oracle-verified at subsampled n before
+// any timing. BENCH_scale.json tracks the standard-scale snapshot.
 // -cpuprofile and -memprofile write pprof profiles of whichever mode ran;
 // see CONTRIBUTING.md for the profiling workflow.
 package main
@@ -61,6 +69,7 @@ func run(args []string) error {
 	arenaFlag := fs.Bool("arena", false, "run every registered backend over the workload zoo and emit BENCH_arena.json")
 	faultsFlag := fs.Bool("faults", false, "run the fault-tolerance experiment (E18) instead of the experiment tables")
 	frontierFlag := fs.Bool("frontier", false, "run the frontier-occupancy experiment (E19) instead of the experiment tables")
+	scaleBenchFlag := fs.Bool("scalebench", false, "run the big-graph substrate benchmarks (E24) sized by -scale and emit BENCH_scale.json")
 	benchIters := fs.Int("bench-iters", 5, "iterations per benchmark in -bench mode (1 for a smoke run)")
 	benchOut := fs.String("bench-out", "", "write the -bench JSON report to this file (default stdout)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the selected mode to this file")
@@ -92,7 +101,18 @@ func run(args []string) error {
 			f.Close()
 		}()
 	}
-	if *benchFlag || *arenaFlag {
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = bench.Quick
+	case "standard":
+		scale = bench.Standard
+	case "full":
+		scale = bench.Full
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	}
+	if *benchFlag || *arenaFlag || *scaleBenchFlag {
 		if *benchIters < 1 {
 			return fmt.Errorf("bench-iters must be at least 1")
 		}
@@ -105,21 +125,13 @@ func run(args []string) error {
 			defer f.Close()
 			out = f
 		}
+		if *scaleBenchFlag {
+			return runScale(out, scale)
+		}
 		if *arenaFlag {
 			return runArena(out, *benchIters)
 		}
 		return runBench(out, *benchIters)
-	}
-	var scale bench.Scale
-	switch *scaleFlag {
-	case "quick":
-		scale = bench.Quick
-	case "standard":
-		scale = bench.Standard
-	case "full":
-		scale = bench.Full
-	default:
-		return fmt.Errorf("unknown scale %q", *scaleFlag)
 	}
 	if *faultsFlag {
 		start := time.Now()

@@ -10,7 +10,10 @@
 //
 // Graph files use a plain edge-list format: the first line is the vertex
 // count, each further line "u v" is an edge; '#' starts a comment. The
-// special path "-" reads the graph from standard input.
+// special path "-" reads the graph from standard input. Files in the binary
+// graph format (graphgen -format binary) are detected by their magic and
+// opened through the memory-mapped loader, so -in works unchanged on
+// multi-gigabyte instances.
 package main
 
 import (
@@ -51,10 +54,16 @@ func run(args []string, w io.Writer) error {
 	var g *deltacoloring.Graph
 	switch {
 	case *inFlag != "":
-		var err error
-		g, err = readGraph(*inFlag)
+		var (
+			closer io.Closer
+			err    error
+		)
+		g, closer, err = readGraph(*inFlag)
 		if err != nil {
 			return err
+		}
+		if closer != nil {
+			defer closer.Close()
 		}
 	case *genFlag == "hard":
 		g = deltacoloring.GenHardCliqueBipartite(*mFlag, *deltaFlag)
@@ -179,28 +188,26 @@ func runBackend(w io.Writer, g *deltacoloring.Graph, name string, paper bool, se
 	return res, nil, nil
 }
 
-func readGraph(path string) (*deltacoloring.Graph, error) {
+func readGraph(path string) (*deltacoloring.Graph, io.Closer, error) {
 	return readGraphFrom(path, os.Stdin)
 }
 
-// readGraphFrom resolves the edge-list source: the conventional "-" means
-// stdin (the same reader the service client examples pipe through).
-func readGraphFrom(path string, stdin io.Reader) (*deltacoloring.Graph, error) {
+// readGraphFrom resolves the graph source: the conventional "-" means stdin
+// (text edge list only — binary graphs need a seekable file); a path goes
+// through the format-sniffing loader, which memory-maps binary graphs. The
+// returned closer (nil for stdin) owns any mapping and must outlive every
+// use of the graph.
+func readGraphFrom(path string, stdin io.Reader) (*deltacoloring.Graph, io.Closer, error) {
 	if path == "-" {
 		g, err := graphio.Read(stdin)
 		if err != nil {
-			return nil, fmt.Errorf("stdin: %w", err)
+			return nil, nil, fmt.Errorf("stdin: %w", err)
 		}
-		return g, nil
+		return g, nil, nil
 	}
-	f, err := os.Open(path)
+	g, closer, err := graphio.Load(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	defer f.Close()
-	g, err := graphio.Read(f)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return g, nil
+	return g, closer, nil
 }

@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/graphio"
 )
 
 func TestRunGeneratedHard(t *testing.T) {
@@ -117,24 +120,25 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestReadGraph(t *testing.T) {
 	path := writeTemp(t, "# comment\n4\n0 1\n1 2\n\n2 3\n3 0\n")
-	g, err := readGraph(path)
+	g, closer, err := readGraph(path)
 	if err != nil {
 		t.Fatalf("readGraph: %v", err)
 	}
+	defer closer.Close()
 	if g.N() != 4 || g.M() != 4 {
 		t.Fatalf("graph shape n=%d m=%d", g.N(), g.M())
 	}
 }
 
 func TestReadGraphFromStdin(t *testing.T) {
-	g, err := readGraphFrom("-", strings.NewReader("4\n0 1\n1 2\n2 3\n3 0\n"))
+	g, _, err := readGraphFrom("-", strings.NewReader("4\n0 1\n1 2\n2 3\n3 0\n"))
 	if err != nil {
 		t.Fatalf("readGraphFrom: %v", err)
 	}
 	if g.N() != 4 || g.M() != 4 {
 		t.Fatalf("graph shape n=%d m=%d", g.N(), g.M())
 	}
-	if _, err := readGraphFrom("-", strings.NewReader("not a graph")); err == nil {
+	if _, _, err := readGraphFrom("-", strings.NewReader("not a graph")); err == nil {
 		t.Fatal("accepted malformed stdin")
 	} else if !strings.Contains(err.Error(), "stdin") {
 		t.Fatalf("stdin error not attributed: %v", err)
@@ -152,12 +156,12 @@ func TestReadGraphErrors(t *testing.T) {
 	}
 	for name, content := range cases {
 		t.Run(name, func(t *testing.T) {
-			if _, err := readGraph(writeTemp(t, content)); err == nil {
+			if _, _, err := readGraph(writeTemp(t, content)); err == nil {
 				t.Fatalf("accepted %q", content)
 			}
 		})
 	}
-	if _, err := readGraph(filepath.Join(t.TempDir(), "missing.edges")); err == nil {
+	if _, _, err := readGraph(filepath.Join(t.TempDir(), "missing.edges")); err == nil {
 		t.Fatal("accepted missing file")
 	}
 }
@@ -208,5 +212,25 @@ func TestRunDotOutput(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "graph G {") {
 		t.Fatal("DOT file malformed")
+	}
+}
+
+// TestRunFromBinaryFile feeds a binary-format graph through -in: the loader
+// sniffs the magic and serves the instance from the mmap (or fallback) path.
+func TestRunFromBinaryFile(t *testing.T) {
+	g, err := graph.EasyCliqueRingStream(8, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ring.dcsr")
+	if err := graphio.WriteBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-in", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Δ-coloring verified: 16 colors") {
+		t.Fatalf("unexpected output:\n%s", out.String())
 	}
 }

@@ -8,6 +8,11 @@
 //	            [-timeout 30s] [-max-timeout 5m] [-drain 30s]
 //	            [-max-graphs 16] [-mutation-queue 32]
 //	            [-data-dir DIR] [-fsync always|interval|off] [-checkpoint-every 64]
+//	            [-graph-dir DIR]
+//
+// With -graph-dir, color and graph-create requests may name operator-staged
+// graph files (text or binary format) through their "file" source; paths
+// are confined to the directory.
 //
 // With -data-dir, every dynamic graph is durable: mutation batches are
 // written to a per-graph WAL before they are acknowledged, checkpoints bound
@@ -55,6 +60,7 @@ func run(args []string) error {
 	maxGraphs := fs.Int("max-graphs", 16, "cap on live dynamic graphs (creation past it answers 409)")
 	mutQueue := fs.Int("mutation-queue", 32, "per-graph mutation queue depth (full queue answers 429)")
 	dataDir := fs.String("data-dir", "", "durable state directory (empty: in-memory graphs only)")
+	graphDir := fs.String("graph-dir", "", "directory of staged graph files served by the \"file\" request source (empty: disabled)")
 	fsyncFlag := fs.String("fsync", "always", "WAL flush policy: always, interval, or off")
 	ckptEvery := fs.Int("checkpoint-every", 64, "checkpoint a durable graph after this many batches (negative disables)")
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +80,7 @@ func run(args []string) error {
 		MaxGraphs:          *maxGraphs,
 		MutationQueueDepth: *mutQueue,
 		DataDir:            *dataDir,
+		GraphDir:           *graphDir,
 		Fsync:              fsync,
 		CheckpointEvery:    *ckptEvery,
 	})

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/graphio"
+)
+
+// TestGenerateBinaryScaleFamilies drives the scale families end to end:
+// generate to a binary file, reopen through the sniffing loader, and check
+// the shape survived.
+func TestGenerateBinaryScaleFamilies(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		args []string
+		n, d int
+	}{
+		{"regular", []string{"-family", "regular", "-n", "5000", "-d", "8"}, 5000, 8},
+		{"ring", []string{"-family", "ring", "-n", "4096", "-delta", "16"}, 4096, 16},
+	} {
+		path := filepath.Join(dir, tc.name+".dcsr")
+		args := append(tc.args, "-format", "binary", "-o", path)
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		g, closer, err := graphio.Load(path)
+		if err != nil {
+			t.Fatalf("%s: Load: %v", tc.name, err)
+		}
+		if g.N() != tc.n || g.MaxDegree() != tc.d {
+			t.Fatalf("%s: got n=%d maxdeg=%d, want n=%d maxdeg=%d",
+				tc.name, g.N(), g.MaxDegree(), tc.n, tc.d)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		closer.Close()
+	}
+}
+
+// TestGenerateTextRingMatchesDense pins the streamed ring family (sized by
+// -n) to the dense generator the rest of the suite validates.
+func TestGenerateTextRingMatchesDense(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ring.edges")
+	if err := run([]string{"-family", "ring", "-n", "64", "-delta", "4", "-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	g, closer, err := graphio.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	want, _ := graph.EasyCliqueRing(16, 4)
+	if graphio.CanonicalHash(g) != graphio.CanonicalHash(want) {
+		t.Fatal("ring -n 64 -delta 4 does not match EasyCliqueRing(16, 4)")
+	}
+}
+
+func TestRejectsBadScaleArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-family", "regular", "-n", "10", "-d", "16", "-format", "binary", "-o", "/dev/null"},
+		{"-family", "ring", "-n", "100", "-delta", "16"},
+		{"-family", "regular", "-n", "100", "-format", "binary"}, // no -o
+		{"-family", "regular", "-n", "100", "-format", "xml", "-o", "/dev/null"},
+		{"-family", "nope"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

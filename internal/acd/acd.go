@@ -24,6 +24,7 @@ import (
 	"math"
 	"sort"
 
+	"deltacoloring/internal/arena"
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/local"
 )
@@ -63,31 +64,55 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 	if n == 0 {
 		return a, nil
 	}
+	ar := arena.Get()
+	defer arena.Put(ar)
 
 	// Round 1-2: neighbors exchange adjacency lists; afterwards every vertex
 	// knows its 2-ball and can evaluate friendship and denseness locally.
+	// Friendship (>= friendThreshold common neighbors) is evaluated with a
+	// stamped-neighborhood count: mark N(v) once, then for each heavier
+	// endpoint w count marks along N(w) — a linear scan of loads and adds in
+	// place of the per-edge sorted-merge (graph.CommonNeighbors) that
+	// dominated the dense-phase CPU profile.
 	net.Charge(2)
 	friendThreshold := int(math.Ceil((1 - internalEta) * float64(delta)))
 	var fpairs []int32
+	mark := ar.Bools(n)
 	for v := 0; v < n; v++ {
-		for _, nw := range g.Neighbors(v) {
+		nv := g.Neighbors(v)
+		for _, w := range nv {
+			mark[w] = true
+		}
+		for _, nw := range nv {
 			w := int(nw)
-			if v < w && g.CommonNeighbors(v, w) >= friendThreshold {
+			if w <= v {
+				continue
+			}
+			cnt := 0
+			for _, x := range g.Neighbors(w) {
+				if mark[x] {
+					cnt++
+				}
+			}
+			if cnt >= friendThreshold {
 				fpairs = append(fpairs, int32(v), int32(w))
 			}
+		}
+		for _, w := range nv {
+			mark[w] = false
 		}
 	}
 	// Counting-sort the friendship pairs into a CSR adjacency (mirrors the
 	// graph builder): fadj[foff[v]:foff[v+1]] lists v's friends.
-	foff := make([]int32, n+1)
+	foff := ar.Int32s(n + 1)
 	for _, v := range fpairs {
 		foff[v+1]++
 	}
 	for v := 0; v < n; v++ {
 		foff[v+1] += foff[v]
 	}
-	fadj := make([]int32, len(fpairs))
-	fcur := make([]int32, n)
+	fadj := ar.Int32s(len(fpairs))
+	fcur := ar.Int32s(n)
 	copy(fcur, foff[:n])
 	for i := 0; i < len(fpairs); i += 2 {
 		u, w := fpairs[i], fpairs[i+1]
@@ -96,7 +121,7 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 		fadj[fcur[w]] = u
 		fcur[w]++
 	}
-	dense := make([]bool, n)
+	dense := ar.Bools(n)
 	for v := 0; v < n; v++ {
 		dense[v] = int(foff[v+1]-foff[v]) >= friendThreshold
 	}
@@ -106,10 +131,7 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 	// fixed 6 and demote any component whose friend-diameter exceeds 4
 	// (impossible for genuine almost cliques, defensive otherwise).
 	net.Charge(6)
-	comp := make([]int, n)
-	for v := range comp {
-		comp[v] = Sparse
-	}
+	comp := ar.IntsFill(n, Sparse)
 	var comps [][]int
 	for s := 0; s < n; s++ {
 		if !dense[s] || comp[s] != Sparse {
@@ -130,12 +152,9 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 		sort.Ints(queue)
 		comps = append(comps, queue)
 	}
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = -1
-	}
+	dist := ar.Int32sFill(n, -1)
 	for i, members := range comps {
-		if friendDiameter(foff, fadj, comp, i, members, dist) > 4 {
+		if friendDiameterExceeds(foff, fadj, comp, i, members, dist, 4) {
 			for _, v := range members {
 				comp[v] = Sparse
 			}
@@ -147,12 +166,13 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 	// Each iteration is O(1) rounds.
 	minInside := int(math.Ceil((1 - eps) * float64(delta)))
 	absorbAbove := (1 - eps/2) * float64(delta)
+	demote := ar.Bools(n)
 	for iter := 0; iter < 3; iter++ {
 		net.Charge(2)
 		changed := false
 		// (ii): demote members with too few internal neighbors (snapshot
 		// semantics: all demotions of one iteration use the same view).
-		demote := make([]bool, n)
+		clear(demote)
 		for v := 0; v < n; v++ {
 			if comp[v] == Sparse {
 				continue
@@ -185,7 +205,7 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 
 	// (i): dissolve components with out-of-range sizes.
 	net.Charge(1)
-	sizes := make([]int, len(comps))
+	sizes := ar.Ints(len(comps))
 	for _, c := range comp {
 		if c != Sparse {
 			sizes[c]++
@@ -213,10 +233,7 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 	}
 
 	// Renumber cliques densely and build the final structure.
-	remap := make([]int, len(comps))
-	for i := range remap {
-		remap[i] = Sparse
-	}
+	remap := ar.IntsFill(len(comps), Sparse)
 	for v := 0; v < n; v++ {
 		c := comp[v]
 		if c == Sparse {
@@ -235,15 +252,20 @@ func Compute(net *local.Network, eps float64) (*ACD, error) {
 	return a, nil
 }
 
-// friendDiameter BFS-explores the friend graph (foff/fadj CSR) restricted to
-// component id, from every member. dist is an n-sized scratch array that must
-// be all -1 on entry; it is restored to -1 before returning.
-func friendDiameter(foff, fadj []int32, comp []int, id int, members []int, dist []int32) int {
-	worst := 0
+// friendDiameterExceeds reports whether the diameter of the friend graph
+// (foff/fadj CSR) restricted to component id exceeds bound, or the component
+// is disconnected in it. dist is an n-sized scratch array that must be all -1
+// on entry; it is restored to -1 before returning.
+//
+// One eccentricity BFS from an arbitrary member usually decides the question:
+// ecc(s) <= diameter <= 2*ecc(s), so ecc > bound proves excess and
+// 2*ecc <= bound proves the opposite (genuine almost cliques have friend
+// diameter 1-2, hitting this path). Only the ambiguous band falls back to the
+// all-sources sweep the fast path replaced.
+func friendDiameterExceeds(foff, fadj []int32, comp []int, id int, members []int, dist []int32, bound int) bool {
 	queue := make([]int32, 0, len(members))
-	for _, s := range members {
-		queue = queue[:0]
-		queue = append(queue, int32(s))
+	bfs := func(s int) (ecc, visited int) {
+		queue = append(queue[:0], int32(s))
 		dist[s] = 0
 		for q := 0; q < len(queue); q++ {
 			v := queue[q]
@@ -251,22 +273,37 @@ func friendDiameter(foff, fadj []int32, comp []int, id int, members []int, dist 
 			for _, w := range fadj[foff[v]:foff[v+1]] {
 				if comp[w] == id && dist[w] < 0 {
 					dist[w] = d
-					if int(d) > worst {
-						worst = int(d)
+					if int(d) > ecc {
+						ecc = int(d)
 					}
 					queue = append(queue, w)
 				}
 			}
 		}
-		visited := len(queue)
+		visited = len(queue)
 		for _, v := range queue {
 			dist[v] = -1
 		}
-		if visited != len(members) {
-			return 1 << 30 // disconnected in the friend graph: treat as huge
+		return ecc, visited
+	}
+	ecc, visited := bfs(members[0])
+	if visited != len(members) {
+		return true // disconnected in the friend graph: treat as huge
+	}
+	if ecc > bound {
+		return true
+	}
+	if 2*ecc <= bound {
+		return false
+	}
+	worst := ecc
+	for _, s := range members[1:] {
+		ecc, _ := bfs(s)
+		if ecc > worst {
+			worst = ecc
 		}
 	}
-	return worst
+	return worst > bound
 }
 
 // majorityClique returns the clique label (other than skip) that strictly

@@ -1,0 +1,79 @@
+package arena
+
+import "testing"
+
+func TestTakeZeroedAndDisjoint(t *testing.T) {
+	var a Arena
+	x := a.Ints(8)
+	y := a.Ints(8)
+	for i := range x {
+		x[i] = i + 1
+	}
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("y[%d] = %d, want 0", i, v)
+		}
+	}
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatalf("slices overlap: x[0] = %d", x[0])
+	}
+}
+
+func TestResetReusesAndRezeroes(t *testing.T) {
+	var a Arena
+	x := a.Int32s(16)
+	for i := range x {
+		x[i] = -1
+	}
+	a.Reset()
+	y := a.Int32s(16)
+	if &x[0] != &y[0] {
+		t.Fatalf("reset did not reuse the slab")
+	}
+	for i, v := range y {
+		if v != 0 {
+			t.Fatalf("y[%d] = %d after reset, want 0", i, v)
+		}
+	}
+}
+
+func TestFillHelpers(t *testing.T) {
+	var a Arena
+	s := a.IntsFill(5, -1)
+	for i, v := range s {
+		if v != -1 {
+			t.Fatalf("IntsFill[%d] = %d", i, v)
+		}
+	}
+	q := a.Int32sFill(5, 7)
+	for i, v := range q {
+		if v != 7 {
+			t.Fatalf("Int32sFill[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestGrowthKeepsHandedOutSlices(t *testing.T) {
+	var a Arena
+	x := a.Bools(4)
+	x[3] = true
+	// Force growth well past the initial slab.
+	_ = a.Bools(1 << 20)
+	if !x[3] {
+		t.Fatal("growth corrupted a handed-out slice")
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	a := Get()
+	s := a.Words(32)
+	s[0] = 1
+	Put(a)
+	b := Get()
+	w := b.Words(32)
+	if w[0] != 0 {
+		t.Fatalf("pooled arena returned dirty memory: %d", w[0])
+	}
+	Put(b)
+}

@@ -143,9 +143,10 @@ func colorTreeFrom(g *graph.Graph, c *coloring.Partial, sub []int, root, delta i
 	if len(order) != len(sub) {
 		return fmt.Errorf("baseline: BFS covered %d of %d vertices", len(order), len(sub))
 	}
+	var p coloring.Palette
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
-		p := coloring.Available(g, c, v, delta)
+		coloring.AvailableInto(&p, g, c, v, delta)
 		col := p.Min()
 		if col < 0 {
 			return fmt.Errorf("baseline: vertex %d has empty palette in tree coloring", v)
@@ -200,13 +201,15 @@ func TrialColoring(net *local.Network, c *coloring.Partial, k, maxRounds int, rn
 		}
 		picks := make([]pick, g.N())
 		anyPick := false
+		var p coloring.Palette
+		var cols []int
 		for v := 0; v < g.N(); v++ {
 			picks[v] = pick{color: coloring.None}
 			if c.Colored(v) {
 				continue
 			}
-			p := coloring.Available(g, c, v, k)
-			cols := p.Colors()
+			coloring.AvailableInto(&p, g, c, v, k)
+			cols = p.AppendColors(cols[:0])
 			if len(cols) == 0 {
 				continue
 			}
@@ -391,7 +394,7 @@ func LoopholeLayered(net *local.Network, maxLayers int) (*coloring.Partial, int,
 		for v := 0; v < g.N(); v++ {
 			if layer[v] == depth {
 				inst.Active[v] = true
-				inst.Lists[v] = coloring.Available(g, c, v, delta)
+				coloring.AvailableInto(&inst.Lists[v], g, c, v, delta)
 				any = true
 			}
 		}

@@ -116,20 +116,65 @@ type Palette struct {
 	words []uint64
 }
 
+// WordsFor returns the number of 64-bit words a palette over [0, k) needs.
+// Slab allocators use it to size backing stores for ListSlab.
+func WordsFor(k int) int { return (k + 63) / 64 }
+
 // FullPalette returns the palette {0, ..., k-1}.
 func FullPalette(k int) Palette {
-	p := Palette{words: make([]uint64, (k+63)/64)}
-	for i := 0; i < k; i++ {
-		p.Add(i)
-	}
+	var p Palette
+	p.Fill(k)
 	return p
 }
 
-// Add inserts color x.
+// Fill resets the palette to exactly {0, ..., k-1}, reusing the existing
+// word storage when it is large enough. It is the word-wide replacement for
+// the k-iteration Add loop: full words are set with a single store and the
+// last partial word with one mask.
+func (p *Palette) Fill(k int) {
+	nw := WordsFor(k)
+	if cap(p.words) < nw {
+		p.words = make([]uint64, nw)
+	} else {
+		p.words = p.words[:nw]
+	}
+	if nw == 0 {
+		return
+	}
+	for i := 0; i < nw-1; i++ {
+		p.words[i] = ^uint64(0)
+	}
+	last := ^uint64(0)
+	if r := k % 64; r != 0 {
+		last = 1<<r - 1
+	}
+	p.words[nw-1] = last
+}
+
+// Clear empties the palette, keeping its storage for reuse.
+func (p *Palette) Clear() {
+	for i := range p.words {
+		p.words[i] = 0
+	}
+	p.words = p.words[:0]
+}
+
+// Add inserts color x, growing the word storage in a single resize when x
+// lies beyond the current capacity (not one appended word at a time).
 func (p *Palette) Add(x int) {
 	w := x / 64
-	for len(p.words) <= w {
-		p.words = append(p.words, 0)
+	if w >= len(p.words) {
+		if w < cap(p.words) {
+			tail := p.words[len(p.words) : w+1]
+			for i := range tail {
+				tail[i] = 0
+			}
+			p.words = p.words[:w+1]
+		} else {
+			grown := make([]uint64, w+1)
+			copy(grown, p.words)
+			p.words = grown
+		}
 	}
 	p.words[w] |= 1 << (x % 64)
 }
@@ -186,27 +231,65 @@ func (p Palette) Clone() Palette {
 
 // Colors returns the palette's colors in increasing order.
 func (p Palette) Colors() []int {
-	out := make([]int, 0, p.Size())
+	return p.AppendColors(make([]int, 0, p.Size()))
+}
+
+// AppendColors appends the palette's colors in increasing order to dst and
+// returns the extended slice — the allocation-free form of Colors for loops
+// that re-enumerate palettes with a reused buffer.
+func (p Palette) AppendColors(dst []int) []int {
 	for i, w := range p.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, i*64+b)
+			dst = append(dst, i*64+b)
 			w &^= 1 << b
 		}
 	}
-	return out
+	return dst
+}
+
+// CopyFrom makes p an exact copy of q, reusing p's storage when possible.
+func (p *Palette) CopyFrom(q Palette) {
+	if cap(p.words) < len(q.words) {
+		p.words = make([]uint64, len(q.words))
+	} else {
+		p.words = p.words[:len(q.words)]
+	}
+	copy(p.words, q.words)
+}
+
+// AndNot removes every color of q from p word-wide (p &^= q), the kernel
+// behind conflict elimination: one ANDN per 64 colors instead of a
+// per-color branch loop.
+func (p *Palette) AndNot(q Palette) {
+	n := len(p.words)
+	if len(q.words) < n {
+		n = len(q.words)
+	}
+	for i := 0; i < n; i++ {
+		p.words[i] &^= q.words[i]
+	}
 }
 
 // Available returns the palette [0,k) minus the colors of v's colored
 // neighbors in g — the greedy choice set for v.
 func Available(g *graph.Graph, c *Partial, v, k int) Palette {
-	p := FullPalette(k)
+	var p Palette
+	AvailableInto(&p, g, c, v, k)
+	return p
+}
+
+// AvailableInto fills p with the palette [0,k) minus the colors of v's
+// colored neighbors, reusing p's word storage — the zero-allocation form of
+// Available for hot paths that rebuild lists every phase.
+func AvailableInto(p *Palette, g *graph.Graph, c *Partial, v, k int) {
+	p.Fill(k)
+	words := p.words
 	for _, w := range g.Neighbors(v) {
-		if col := c.Colors[w]; col != None && col < k {
-			p.Remove(col)
+		if col := c.Colors[w]; col >= 0 && col < k {
+			words[col>>6] &^= 1 << (col & 63)
 		}
 	}
-	return p
 }
 
 // GreedyComplete colors every uncolored vertex of g (in index order) with
@@ -214,11 +297,12 @@ func Available(g *graph.Graph, c *Partial, v, k int) Palette {
 // vertex has no available color. It is the sequential baseline and the
 // final safety net in tests.
 func GreedyComplete(g *graph.Graph, c *Partial, k int) error {
+	var p Palette
 	for v := range c.Colors {
 		if c.Colors[v] != None {
 			continue
 		}
-		p := Available(g, c, v, k)
+		AvailableInto(&p, g, c, v, k)
 		col := p.Min()
 		if col < 0 {
 			return fmt.Errorf("coloring: vertex %d: empty palette", v)
@@ -226,4 +310,37 @@ func GreedyComplete(g *graph.Graph, c *Partial, k int) error {
 		c.Colors[v] = col
 	}
 	return nil
+}
+
+// ListSlab backs a family of per-vertex palettes with one reusable word
+// slab, so building n lists costs two allocations after warm-up instead of
+// n. Take hands out palettes whose words alias the slab; they are valid
+// until the next Take, and must not be retained across it. A palette that
+// grows beyond its slab slot (Add past k) reallocates onto its own storage
+// automatically because the slot's capacity is clipped.
+type ListSlab struct {
+	words []uint64
+	lists []Palette
+}
+
+// Take returns n palettes, each Fill(k), carved out of the slab.
+func (s *ListSlab) Take(n, k int) []Palette {
+	per := WordsFor(k)
+	need := n * per
+	if cap(s.words) < need {
+		s.words = make([]uint64, need)
+	} else {
+		s.words = s.words[:need]
+	}
+	if cap(s.lists) < n {
+		s.lists = make([]Palette, n)
+	} else {
+		s.lists = s.lists[:n]
+	}
+	for i := 0; i < n; i++ {
+		w := s.words[i*per : i*per : (i+1)*per]
+		s.lists[i] = Palette{words: w}
+		s.lists[i].Fill(k)
+	}
+	return s.lists
 }

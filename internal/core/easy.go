@@ -134,7 +134,7 @@ func (ec *easyColorer) run() error {
 		for v := 0; v < g.N(); v++ {
 			if layer[v] == depth {
 				inst.Active[v] = true
-				inst.Lists[v] = coloring.Available(g, out, v, delta)
+				coloring.AvailableInto(&inst.Lists[v], g, out, v, delta)
 				any = true
 			}
 		}

@@ -633,12 +633,13 @@ func (hp *hardPipeline) phase4APairs() error {
 	}
 	vnet := hp.net.Virtual(gv, 3)
 	inst := listcolor.Instance{Active: make([]bool, gv.N()), Lists: make([]coloring.Palette, gv.N())}
+	// Each triad's list is [pairColorBase, Δ): the full prefix palette minus
+	// the reserved low colors, built word-wide instead of bit by bit.
+	reserved := coloring.FullPalette(hp.spec.pairColorBase)
 	for i := range hp.triads {
 		inst.Active[i] = true
-		var p coloring.Palette
-		for c := hp.spec.pairColorBase; c < hp.delta; c++ {
-			p.Add(c)
-		}
+		p := coloring.FullPalette(hp.delta)
+		p.AndNot(reserved)
 		inst.Lists[i] = p
 	}
 	pairColors := coloring.NewPartial(gv.N())
@@ -733,7 +734,7 @@ func (hp *hardPipeline) phase4BRest() error {
 func (hp *hardPipeline) fillLists(inst *listcolor.Instance) {
 	for v := 0; v < hp.g.N(); v++ {
 		if inst.Active[v] {
-			inst.Lists[v] = coloring.Available(hp.g, hp.out, v, hp.delta)
+			coloring.AvailableInto(&inst.Lists[v], hp.g, hp.out, v, hp.delta)
 		}
 	}
 }

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"deltacoloring/internal/acd"
 	"deltacoloring/internal/coloring"
@@ -322,16 +322,20 @@ func placeTNodes(g *graph.Graph, a *acd.ACD, cl *loophole.Classification,
 	// per-query condition is a pure read of rank and state.
 	adj := make([][]int32, len(props))
 	var scratch []int32
+	var ball []int
 	for i, p := range props {
 		scratch = scratch[:0]
 		for _, v := range [3]int{p.tr.Slack, p.tr.PairIn, p.tr.PairOut} {
-			for _, w := range g.NeighborsWithin(v, rp.Spacing) {
+			// Unsorted ball: the hits are sorted below anyway, so the
+			// per-vertex sort.Ints inside NeighborsWithin was pure overhead.
+			ball = g.AppendBall(ball[:0], v, rp.Spacing)
+			for _, w := range ball {
 				if j, ok := at[w]; ok && j != i {
 					scratch = append(scratch, int32(j))
 				}
 			}
 		}
-		sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
+		slices.Sort(scratch)
 		for k, j := range scratch {
 			if k == 0 || scratch[k-1] != j {
 				adj[i] = append(adj[i], j)
@@ -427,7 +431,7 @@ func colorHappyLayers(net *local.Network, g *graph.Graph, out *coloring.Partial,
 		for v := 0; v < g.N(); v++ {
 			if layer[v] == depth && !out.Colored(v) {
 				inst.Active[v] = true
-				inst.Lists[v] = coloring.Available(g, out, v, delta)
+				coloring.AvailableInto(&inst.Lists[v], g, out, v, delta)
 				any = true
 			}
 		}

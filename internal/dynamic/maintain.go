@@ -2,6 +2,7 @@ package dynamic
 
 import (
 	"fmt"
+	"sync"
 
 	"deltacoloring/internal/backend"
 	"deltacoloring/internal/coloring"
@@ -12,6 +13,10 @@ import (
 )
 
 const none32 = int32(coloring.None)
+
+// dynPalPool recycles the per-recolor working palette of solveGreedy's round
+// callback, which may run concurrently across the runner's workers.
+var dynPalPool = sync.Pool{New: func() any { return new(coloring.Palette) }}
 
 // hookNet applies the store options to a fresh maintenance network.
 func (l *Live) hookNet(net *local.Network) {
@@ -125,10 +130,10 @@ func (l *Live) recompute(g2 *graph.Graph, colors []int, res *ApplyResult) (err e
 	n := g2.N()
 	k := g2.MaxDegree() + 1
 	active := make([]bool, n)
-	lists := make([]coloring.Palette, n)
+	var slab coloring.ListSlab
+	lists := slab.Take(n, k)
 	for v := 0; v < n; v++ {
 		active[v] = true
-		lists[v] = coloring.FullPalette(k)
 	}
 	work := make([]int, n)
 	for v := range work {
@@ -228,15 +233,19 @@ func solveGreedy(net *local.Network, active []bool, lists []coloring.Palette, co
 			if !active[v] || self != none32 {
 				return self
 			}
-			p := lists[v].Clone()
+			p := dynPalPool.Get().(*coloring.Palette)
+			p.CopyFrom(lists[v])
 			for i := 0; i < nbrs.Len(); i++ {
 				if c := nbrs.State(i); c != none32 {
 					p.Remove(int(c))
 				} else if w := nbrs.At(i); active[w] && w > v {
+					dynPalPool.Put(p)
 					return self // defer to the higher-index uncolored vertex
 				}
 			}
-			if c := p.Min(); c >= 0 {
+			c := p.Min()
+			dynPalPool.Put(p)
+			if c >= 0 {
 				return int32(c)
 			}
 			return self // empty list (only reachable under faults)

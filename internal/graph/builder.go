@@ -1,9 +1,20 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"slices"
+	"sort"
+	"sync"
 )
+
+// ErrTooManyEdges reports an edge set whose directed arc count (2m plus
+// duplicates) would overflow the int32 CSR offset space. Builders and the
+// streaming constructor surface it instead of silently mis-building; the
+// binary loader in internal/graphio wraps it for oversized headers.
+var ErrTooManyEdges = errors.New("graph: edge count overflows int32 CSR offsets")
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate edge
 // insertions are tolerated and collapsed; self-loops are rejected at Build
@@ -69,13 +80,28 @@ func (b *Builder) SetID(v int, id uint64) {
 // Build finalizes the graph: counting-sorts the accumulated endpoint pairs
 // into CSR form, deduplicates each adjacency run in place, and validates
 // IDs. The builder must not be reused afterwards.
-func (b *Builder) Build() (*Graph, error) {
+func (b *Builder) Build() (*Graph, error) { return b.build(1) }
+
+// BuildParallel is Build with the per-vertex sort/dedup phase fanned out
+// across workers (GOMAXPROCS when workers <= 0). The histogram and scatter
+// passes stay sequential — they are memory-bound and a per-worker histogram
+// would cost workers×n extra space — while the sort phase, which dominates
+// construction CPU at large m, splits into edge-balanced vertex ranges whose
+// runs are disjoint. The output is bit-identical to Build's for any worker
+// count: each run's sorted, deduplicated content is independent of which
+// worker processed it, and the compaction pass is sequential.
+func (b *Builder) BuildParallel(workers int) (*Graph, error) { return b.build(workers) }
+
+func (b *Builder) build(workers int) (*Graph, error) {
 	if b.seal {
 		return nil, fmt.Errorf("graph: builder reused after Build")
 	}
 	b.seal = true
 	if len(b.bad) > 0 {
 		return nil, fmt.Errorf("graph: %d invalid operations, first: %s", len(b.bad), b.bad[0])
+	}
+	if len(b.pairs) > math.MaxInt32 {
+		return nil, ErrTooManyEdges
 	}
 	n := b.n
 	offsets := make([]int32, n+1)
@@ -97,33 +123,7 @@ func (b *Builder) Build() (*Graph, error) {
 		cursor[v]++
 	}
 	b.pairs = nil
-	// Sort each adjacency run and compact duplicates in place. The write
-	// cursor w never overtakes the read range, so this is safe.
-	var w int32
-	lo := int32(0)
-	for v := 0; v < n; v++ {
-		hi := offsets[v+1]
-		run := edges[lo:hi]
-		slices.Sort(run)
-		start := w
-		prev := int32(-1)
-		for _, x := range run {
-			if x != prev {
-				edges[w] = x
-				w++
-				prev = x
-			}
-		}
-		offsets[v] = start
-		lo = hi
-	}
-	offsets[n] = w
-	if int(w) < cap(edges)/2 {
-		// Heavy duplication: release the slack.
-		edges = append([]int32(nil), edges[:w]...)
-	} else {
-		edges = edges[:w:w]
-	}
+	edges = sortDedupCompact(offsets, edges, workers)
 	seen := make(map[uint64]bool, n)
 	for v, id := range b.ids {
 		if seen[id] {
@@ -132,6 +132,173 @@ func (b *Builder) Build() (*Graph, error) {
 		seen[id] = true
 	}
 	return fromCSR(offsets, edges, b.ids), nil
+}
+
+// parallelBuildMinVertices gates the parallel sort/dedup phase: below it the
+// goroutine fan-out costs more than the sort. Tests lower it to force the
+// parallel path onto small fuzz inputs.
+var parallelBuildMinVertices = 4096
+
+// sortDedupCompact sorts each adjacency run of the scattered CSR, removes
+// duplicates, and compacts the runs left, rewriting offsets to the final
+// layout. With workers > 1 the sort/dedup phase runs on edge-balanced vertex
+// ranges in parallel; each worker writes only inside its own runs, and the
+// sequential compaction makes the result independent of the split.
+func sortDedupCompact(offsets, edges []int32, workers int) []int32 {
+	n := len(offsets) - 1
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	counts := make([]int32, n)
+	process := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			run := edges[offsets[v]:offsets[v+1]]
+			slices.Sort(run)
+			k := 0
+			prev := int32(-1)
+			for _, x := range run {
+				if x != prev {
+					run[k] = x
+					k++
+					prev = x
+				}
+			}
+			counts[v] = int32(k)
+		}
+	}
+	if workers <= 1 || n < parallelBuildMinVertices {
+		process(0, n)
+	} else {
+		total := int64(offsets[n])
+		share := (total + int64(workers) - 1) / int64(workers)
+		var wg sync.WaitGroup
+		lo := 0
+		for w := 1; w <= workers && lo < n; w++ {
+			hi := n
+			if w < workers {
+				target := int32(min64(int64(w)*share, total))
+				hi = sort.Search(n, func(v int) bool { return offsets[v+1] >= target })
+				hi++
+				if hi > n {
+					hi = n
+				}
+			}
+			if hi <= lo {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				process(lo, hi)
+			}(lo, hi)
+			lo = hi
+		}
+		wg.Wait()
+	}
+	var w int32
+	for v := 0; v < n; v++ {
+		lo, c := offsets[v], counts[v]
+		if w != lo {
+			copy(edges[w:w+c], edges[lo:lo+c])
+		}
+		offsets[v] = w
+		w += c
+	}
+	offsets[n] = w
+	if int(w) < cap(edges)/2 {
+		// Heavy duplication: release the slack.
+		edges = append([]int32(nil), edges[:w]...)
+	} else {
+		edges = edges[:w:w]
+	}
+	return edges
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FromStream constructs a graph on n vertices by two passes over an edge
+// producer, going straight to CSR without materializing an intermediate
+// endpoint-pair slice — the peak memory is the final CSR plus one n-sized
+// cursor, which is what makes n=10⁷-scale construction fit. stream is called
+// twice and must emit the same edges both times (generator families and
+// re-seekable files do this naturally); emit tolerates duplicates and
+// reports out-of-range endpoints and self-loops through Build-style errors.
+// workers parallelizes the sort/dedup phase exactly like BuildParallel.
+func FromStream(n int, workers int, stream func(emit func(u, v int)) error) (*Graph, error) {
+	if n < 0 || n > MaxN {
+		return nil, fmt.Errorf("graph: vertex count %d out of range [0, %d]", n, MaxN)
+	}
+	offsets := make([]int32, n+1)
+	var arcs int64
+	var bad string
+	var nbad int
+	reject := func(u, v int) bool {
+		if u < 0 || u >= n || v < 0 || v >= n {
+			if nbad++; bad == "" {
+				bad = fmt.Sprintf("edge {%d,%d} out of range [0,%d)", u, v, n)
+			}
+			return true
+		}
+		if u == v {
+			if nbad++; bad == "" {
+				bad = fmt.Sprintf("self-loop at %d", u)
+			}
+			return true
+		}
+		return false
+	}
+	if err := stream(func(u, v int) {
+		if reject(u, v) {
+			return
+		}
+		if arcs += 2; arcs <= math.MaxInt32 {
+			offsets[u+1]++
+			offsets[v+1]++
+		}
+	}); err != nil {
+		return nil, err
+	}
+	if nbad > 0 {
+		return nil, fmt.Errorf("graph: %d invalid operations, first: %s", nbad, bad)
+	}
+	if arcs > math.MaxInt32 {
+		return nil, ErrTooManyEdges
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	edges := make([]int32, arcs)
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	var scattered int64
+	if err := stream(func(u, v int) {
+		if reject(u, v) {
+			return
+		}
+		if scattered += 2; scattered > arcs {
+			return
+		}
+		edges[cursor[u]] = int32(v)
+		cursor[u]++
+		edges[cursor[v]] = int32(u)
+		cursor[v]++
+	}); err != nil {
+		return nil, err
+	}
+	if scattered != arcs {
+		return nil, fmt.Errorf("graph: stream emitted %d arcs on the second pass, %d on the first", scattered, arcs)
+	}
+	edges = sortDedupCompact(offsets, edges, workers)
+	ids := make([]uint64, n)
+	for v := range ids {
+		ids[v] = uint64(v)
+	}
+	return fromCSR(offsets, edges, ids), nil
 }
 
 // MustBuild is Build for generators whose inputs are validated upfront;

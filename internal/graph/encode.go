@@ -27,6 +27,57 @@ import (
 // endpoints) so a corrupted or adversarial payload yields an error, never a
 // graph that breaks the package's immutability contract.
 
+// NewCSRView adopts externally produced CSR arrays — typically views into a
+// memory-mapped file — after an O(n+m) structural validation: offsets span
+// the edge array monotonically and every adjacency run is strictly sorted,
+// in range, and self-loop free. Two invariants are deliberately NOT checked,
+// because they would dominate huge-graph load times: edge symmetry (O(m log Δ)
+// binary searches) and ID uniqueness (an n-sized hash set). Writers in this
+// repository emit symmetric CSR with identity IDs by construction; callers
+// adopting untrusted input can run Validate for the full check. The arrays
+// are aliased, not copied: the caller must keep their backing store (e.g. the
+// mapping) alive and unmodified for the lifetime of the graph.
+func NewCSRView(offsets, edges []int32, ids []uint64) (*Graph, error) {
+	n := len(ids)
+	if len(offsets) != n+1 {
+		return nil, fmt.Errorf("graph: %d offsets for %d vertices", len(offsets), n)
+	}
+	if n > MaxN {
+		return nil, fmt.Errorf("graph: vertex count %d out of range [0, %d]", n, MaxN)
+	}
+	if n == 0 {
+		if len(edges) != 0 {
+			return nil, fmt.Errorf("graph: %d edges with no vertices", len(edges))
+		}
+		return fromCSR(offsets, edges, ids), nil
+	}
+	if offsets[0] != 0 || int(offsets[n]) != len(edges) {
+		return nil, fmt.Errorf("graph: offsets do not span the edge array")
+	}
+	if len(edges)%2 != 0 {
+		return nil, fmt.Errorf("graph: odd half-edge count %d", len(edges))
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v] > offsets[v+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+		prev := int32(-1)
+		for _, w := range edges[offsets[v]:offsets[v+1]] {
+			if w < 0 || int(w) >= n {
+				return nil, fmt.Errorf("graph: neighbor %d of %d out of range", w, v)
+			}
+			if int(w) == v {
+				return nil, fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if w <= prev {
+				return nil, fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			prev = w
+		}
+	}
+	return fromCSR(offsets, edges, ids), nil
+}
+
 // encodeBinarySize returns the exact encoded byte size of g.
 func encodeBinarySize(g *Graph) int {
 	return 4 + 4 + 4*(g.N()+1) + 4*len(g.edges) + 8*g.N()

@@ -1,0 +1,57 @@
+package graph
+
+import "fmt"
+
+// Streamed scale families. The dense generators in dense.go accumulate an
+// edge-pair slice in a Builder, which doubles the peak memory of a build; at
+// n = 10⁷ that is gigabytes of transient garbage. The constructors here emit
+// the same families through FromStream, so building touches only the final
+// CSR arrays: the two-pass counting build is the whole allocation story.
+
+// Circulant builds the circulant graph C_n(1, …, d/2): vertex v is adjacent
+// to v±s mod n for s = 1..d/2 — connected and d-regular for n > d and even
+// d. This is the scale benchmark's stand-in for sparse bounded-degree
+// inputs, colored by the deg+1 list-coloring machinery rather than the
+// dense pipeline (its almost-clique decomposition is empty).
+func Circulant(n, d, workers int) (*Graph, error) {
+	if d < 0 || d%2 != 0 || (d > 0 && n <= d) {
+		return nil, fmt.Errorf("graph: Circulant needs even d >= 0 and n > d, got n=%d d=%d", n, d)
+	}
+	return FromStream(n, workers, func(emit func(u, v int)) error {
+		for v := 0; v < n; v++ {
+			for s := 1; s <= d/2; s++ {
+				emit(v, (v+s)%n)
+			}
+		}
+		return nil
+	})
+}
+
+// EasyCliqueRingStream builds the same graph as EasyCliqueRing — identical
+// edge set and vertex numbering — through the streaming CSR path, so the
+// dense ring family scales to k·delta = 10⁷ vertices without the Builder's
+// pair slice. TestEasyCliqueRingStreamMatchesBuilder pins the byte-identity
+// with the Builder construction. Requires k >= 4 and even delta >= 4.
+func EasyCliqueRingStream(k, delta, workers int) (*Graph, error) {
+	if k < 4 || delta < 4 || delta%2 != 0 {
+		return nil, fmt.Errorf("graph: EasyCliqueRingStream needs k >= 4 and even delta >= 4, got k=%d delta=%d", k, delta)
+	}
+	n := k * delta
+	half := delta / 2
+	return FromStream(n, workers, func(emit func(u, v int)) error {
+		for c := 0; c < k; c++ {
+			base := c * delta
+			for u := 0; u < delta; u++ {
+				for v := u + 1; v < delta; v++ {
+					emit(base+u, base+v)
+				}
+			}
+			// Matching to the next ring clique, as in EasyCliqueRing.
+			next := (c + 1) % k
+			for j := 0; j < half; j++ {
+				emit(base+j, next*delta+half+j)
+			}
+		}
+		return nil
+	})
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"bytes"
 	"testing"
 )
 
@@ -92,6 +93,54 @@ func FuzzBuilder(f *testing.F) {
 			if !g.HasEdge(e.u, e.v) {
 				t.Fatalf("HasEdge(%d, %d) = false for an oracle edge", e.u, e.v)
 			}
+		}
+
+		// Bit-identity of the alternative construction paths: BuildParallel
+		// (parallel sort/dedup forced on via the gate) and the streaming
+		// two-pass FromStream must produce byte-for-byte the same CSR.
+		var wantBuf bytes.Buffer
+		if err := EncodeBinary(&wantBuf, g); err != nil {
+			t.Fatalf("EncodeBinary: %v", err)
+		}
+		want := wantBuf.Bytes()
+		saved := parallelBuildMinVertices
+		parallelBuildMinVertices = 0
+		defer func() { parallelBuildMinVertices = saved }()
+		for _, workers := range []int{2, 3, 8} {
+			pb := NewBuilder(int(n))
+			for i := 0; i+1 < len(raw); i += 2 {
+				pb.AddEdge(int(raw[i]), int(raw[i+1]))
+			}
+			pg, err := pb.BuildParallel(workers)
+			if err != nil {
+				t.Fatalf("BuildParallel(%d): %v", workers, err)
+			}
+			var got bytes.Buffer
+			if err := EncodeBinary(&got, pg); err != nil {
+				t.Fatalf("EncodeBinary: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("BuildParallel(%d) CSR differs from sequential Build", workers)
+			}
+		}
+		sg, err := FromStream(int(n), 4, func(emit func(u, v int)) error {
+			for i := 0; i+1 < len(raw); i += 2 {
+				u, v := int(raw[i]), int(raw[i+1])
+				if u < int(n) && v < int(n) && u != v {
+					emit(u, v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("FromStream: %v", err)
+		}
+		var got bytes.Buffer
+		if err := EncodeBinary(&got, sg); err != nil {
+			t.Fatalf("EncodeBinary: %v", err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatal("FromStream CSR differs from sequential Build")
 		}
 	})
 }

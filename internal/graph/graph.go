@@ -220,6 +220,44 @@ func (g *Graph) NeighborsWithin(v, r int) []int {
 	return out
 }
 
+// AppendBall appends all vertices at distance in [1, r] from v to dst in BFS
+// discovery order and returns the extended slice. It is NeighborsWithin
+// without the sort and without a fresh result allocation, for callers that
+// only membership-test or re-aggregate the ball (conflict-graph construction
+// visits every ball member regardless of order).
+func (g *Graph) AppendBall(dst []int, v, r int) []int {
+	if r <= 0 {
+		return dst
+	}
+	sc := ballPool.Get().(*ballScratch)
+	if len(sc.seen) < g.N() {
+		sc.seen = make([]bool, g.N())
+	}
+	seen := sc.seen
+	seen[v] = true
+	queue := append(sc.queue[:0], int32(v))
+	head := 0
+	for d := 0; d < r && head < len(queue); d++ {
+		tail := len(queue)
+		for ; head < tail; head++ {
+			for _, w := range g.Neighbors(int(queue[head])) {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	for _, w := range queue[1:] {
+		dst = append(dst, int(w))
+		seen[w] = false
+	}
+	seen[v] = false
+	sc.queue = queue
+	ballPool.Put(sc)
+	return dst
+}
+
 // Dist returns the hop distance between u and v, or -1 if disconnected.
 func (g *Graph) Dist(u, v int) int {
 	if u == v {

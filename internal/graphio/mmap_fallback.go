@@ -1,0 +1,13 @@
+//go:build !(linux && (amd64 || arm64))
+
+package graphio
+
+import (
+	"io"
+
+	"deltacoloring/internal/graph"
+)
+
+func openBinaryMmap(path string) (*graph.Graph, io.Closer, error) {
+	return nil, nil, errMmapUnsupported
+}

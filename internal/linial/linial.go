@@ -17,6 +17,7 @@ package linial
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/local"
@@ -240,6 +241,22 @@ func Reduce(net *local.Network, cur []int, m, target int) ([]int, error) {
 				return self
 			}
 			block := self / blockSize
+			if target <= 64 {
+				// Constant-Δ fast path: slot occupancy fits one word, so the
+				// free-slot search is a mask and a trailing-zeros count with
+				// no per-recolor allocation.
+				var used uint64
+				for i := 0; i < nbrs.Len(); i++ {
+					nc := nbrs.State(i)
+					if nc/blockSize == block && nc%blockSize < target {
+						used |= 1 << (nc % blockSize)
+					}
+				}
+				if free := ^used & (1<<target - 1); free != 0 {
+					return block*blockSize + bits.TrailingZeros64(free)
+				}
+				panic("linial: no free slot during reduction (degree invariant violated)")
+			}
 			used := make([]bool, target)
 			for i := 0; i < nbrs.Len(); i++ {
 				nc := nbrs.State(i)

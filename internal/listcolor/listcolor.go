@@ -14,12 +14,19 @@ package listcolor
 
 import (
 	"fmt"
+	"sync"
 
 	"deltacoloring/internal/coloring"
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/linial"
 	"deltacoloring/internal/local"
 )
+
+// palPool recycles the per-recolor working palette of Solve's sweep callback.
+// The callback may run concurrently across the runner's workers, so the
+// scratch cannot live on the solver; a pooled palette with CopyFrom reuses
+// its word storage and makes the steady-state recolor allocation-free.
+var palPool = sync.Pool{New: func() any { return new(coloring.Palette) }}
 
 // Instance is one deg+1-list-coloring instance on a subset of vertices.
 type Instance struct {
@@ -88,13 +95,15 @@ func Solve(net *local.Network, inst Instance, out *coloring.Partial) error {
 		if self.color != coloring.None || self.slot != c {
 			return self
 		}
-		p := inst.Lists[sub.ToParent[i]].Clone()
+		p := palPool.Get().(*coloring.Palette)
+		p.CopyFrom(inst.Lists[sub.ToParent[i]])
 		for j := 0; j < nbrs.Len(); j++ {
 			if nc := nbrs.State(j).color; nc != coloring.None {
 				p.Remove(nc)
 			}
 		}
 		col := p.Min()
+		palPool.Put(p)
 		if col < 0 {
 			panic(fmt.Sprintf("listcolor: empty palette at vertex %d despite deg+1 precondition", sub.ToParent[i]))
 		}
@@ -114,9 +123,10 @@ func Solve(net *local.Network, inst Instance, out *coloring.Partial) error {
 // colors of already-colored neighbors — the standard way the paper
 // constructs deg+1 instances from a partial coloring.
 func GreedyLists(g *graph.Graph, out *coloring.Partial, k int) []coloring.Palette {
-	lists := make([]coloring.Palette, g.N())
-	for v := 0; v < g.N(); v++ {
-		lists[v] = coloring.Available(g, out, v, k)
+	var slab coloring.ListSlab
+	lists := slab.Take(g.N(), k)
+	for v := range lists {
+		coloring.AvailableInto(&lists[v], g, out, v, k)
 	}
 	return lists
 }

@@ -2,6 +2,7 @@ package loophole
 
 import (
 	"deltacoloring/internal/acd"
+	"deltacoloring/internal/arena"
 	"deltacoloring/internal/graph"
 )
 
@@ -44,7 +45,9 @@ func Classify(g *graph.Graph, a *acd.ACD) *Classification {
 		Easy:    make([]bool, len(a.Cliques)),
 		Witness: make([]*Loophole, len(a.Cliques)),
 	}
-	k := newClassifier(cl, g, a)
+	ar := arena.Get()
+	defer arena.Put(ar)
+	k := newClassifier(cl, g, a, ar)
 	for ci := range a.Cliques {
 		k.classifyClique(ci)
 	}
@@ -78,26 +81,24 @@ type classifier struct {
 	reachCnt     []int32 // number of (partner, owner) tags, capped at 3
 	reachPart    []int32 // 3 tag slots per vertex
 	reachOwn     []int32
+	nbrMark      []bool  // stamped N(u1) during the member-pair scan
 	touched      []int32 // outsiders with own1/own2/partnerOwner set
 	reached      []int32 // outsiders with reachCnt > 0
 	partners     []ext
 }
 
-func newClassifier(cl *Classification, g *graph.Graph, a *acd.ACD) *classifier {
+func newClassifier(cl *Classification, g *graph.Graph, a *acd.ACD, ar *arena.Arena) *classifier {
 	n := g.N()
-	k := &classifier{
+	return &classifier{
 		cl: cl, g: g, a: a, delta: g.MaxDegree(),
-		own1:         make([]int32, n),
-		own2:         make([]int32, n),
-		partnerOwner: make([]int32, n),
-		reachCnt:     make([]int32, n),
-		reachPart:    make([]int32, 3*n),
-		reachOwn:     make([]int32, 3*n),
+		own1:         ar.Int32sFill(n, -1),
+		own2:         ar.Int32sFill(n, -1),
+		partnerOwner: ar.Int32sFill(n, -1),
+		reachCnt:     ar.Int32s(n),
+		reachPart:    ar.Int32s(3 * n),
+		reachOwn:     ar.Int32s(3 * n),
+		nbrMark:      ar.Bools(n),
 	}
-	for i := 0; i < n; i++ {
-		k.own1[i], k.own2[i], k.partnerOwner[i] = -1, -1, -1
-	}
-	return k
 }
 
 func (k *classifier) reset() {
@@ -114,7 +115,7 @@ func (k *classifier) reset() {
 func (k *classifier) classifyClique(ci int) {
 	g, a, delta, cl := k.g, k.a, k.delta, k.cl
 	members := a.Cliques[ci]
-	inC := func(v int) bool { return a.CliqueOf[v] == ci }
+	cliqueOf := a.CliqueOf
 	defer k.reset()
 
 	// (i) degree deficiency.
@@ -125,12 +126,22 @@ func (k *classifier) classifyClique(ci int) {
 		}
 	}
 	// (ii) non-adjacent member pair: witness 4-cycle u1-u3-u2-u4 through
-	// common member neighbors (Lemma 9, property 1).
+	// common member neighbors (Lemma 9, property 1). Adjacency is tested by
+	// stamping N(u1) once per row instead of a binary-search HasEdge per
+	// member pair.
 	for i := 0; i < len(members); i++ {
+		u1 := members[i]
+		nbrs := g.Neighbors(u1)
+		for _, w := range nbrs {
+			k.nbrMark[w] = true
+		}
 		for j := i + 1; j < len(members); j++ {
-			u1, u2 := members[i], members[j]
-			if g.HasEdge(u1, u2) {
+			u2 := members[j]
+			if k.nbrMark[u2] {
 				continue
+			}
+			for _, w := range nbrs {
+				k.nbrMark[w] = false
 			}
 			if c := witnessNonAdjacent(g, members, u1, u2); c != nil {
 				cl.mark(ci, c)
@@ -141,6 +152,12 @@ func (k *classifier) classifyClique(ci int) {
 				cl.mark(ci, l)
 				return
 			}
+			for _, w := range nbrs {
+				k.nbrMark[w] = true
+			}
+		}
+		for _, w := range nbrs {
+			k.nbrMark[w] = false
 		}
 	}
 	// Collect the member/outsider incidences once; own1/own2 record the
@@ -150,7 +167,7 @@ func (k *classifier) classifyClique(ci int) {
 	for _, v := range members {
 		for _, nw := range g.Neighbors(v) {
 			w := int(nw)
-			if inC(w) {
+			if cliqueOf[w] == ci {
 				continue
 			}
 			if k.own1[w] < 0 {
@@ -182,11 +199,8 @@ func (k *classifier) classifyClique(ci int) {
 	for _, p := range k.partners {
 		for _, nb := range g.Neighbors(p.partner) {
 			b := int(nb)
-			if inC(b) || b == p.partner {
-				continue
-			}
 			owner2 := k.partnerOwner[b]
-			if owner2 < 0 || int(owner2) == p.owner {
+			if owner2 < 0 || int(owner2) == p.owner || cliqueOf[b] == ci {
 				continue
 			}
 			cl.mark(ci, newCycle([]int{p.owner, p.partner, b, int(owner2)}))
@@ -200,7 +214,7 @@ func (k *classifier) classifyClique(ci int) {
 	for _, p := range k.partners {
 		for _, nx := range g.Neighbors(p.partner) {
 			x := int(nx)
-			if inC(x) {
+			if cliqueOf[x] == ci {
 				continue
 			}
 			cnt := k.reachCnt[x]
@@ -215,25 +229,33 @@ func (k *classifier) classifyClique(ci int) {
 			k.reachCnt[x] = cnt + 1
 		}
 	}
+	// Only tagged endpoints can close a 6-cycle, so the scan filters each
+	// neighbor by its tag count first: reachCnt is zero for every member and
+	// for untouched outsiders, which subsumes the old inC(y) test. Both
+	// endpoints of a closing edge are tagged, so restricting to y > x visits
+	// each candidate edge once instead of twice.
 	for _, xq := range k.reached {
 		x := int(xq)
 		nx := int(k.reachCnt[x])
 		for _, nyq := range g.Neighbors(x) {
 			y := int(nyq)
-			if inC(y) || y == x {
+			if y <= x {
 				continue
 			}
 			ny := int(k.reachCnt[y])
+			if ny == 0 {
+				continue
+			}
 			for i := 0; i < nx; i++ {
+				o1, p1 := int(k.reachOwn[3*x+i]), int(k.reachPart[3*x+i])
 				for j := 0; j < ny; j++ {
-					o1, p1 := k.reachOwn[3*x+i], k.reachPart[3*x+i]
-					o2, p2 := k.reachOwn[3*y+j], k.reachPart[3*y+j]
+					o2, p2 := int(k.reachOwn[3*y+j]), int(k.reachPart[3*y+j])
 					if o1 == o2 {
 						continue
 					}
-					verts := []int{int(o1), int(p1), x, y, int(p2), int(o2)}
-					if distinct(verts) {
-						cl.mark(ci, newCycle(verts))
+					verts := [6]int{o1, p1, x, y, p2, o2}
+					if distinct6(verts) {
+						cl.mark(ci, newCycle(verts[:]))
 						return
 					}
 				}
@@ -256,7 +278,7 @@ func (k *classifier) classifyClique(ci int) {
 				a1, b1 := ps[i].partner, ps[j].partner
 				for _, nx := range g.Neighbors(a1) {
 					x := int(nx)
-					if inC(x) || x == owner || x == b1 || !g.HasEdge(x, b1) {
+					if cliqueOf[x] == ci || x == owner || x == b1 || !g.HasEdge(x, b1) {
 						continue
 					}
 					cand := []int{owner, a1, x, b1}
@@ -283,7 +305,7 @@ func (k *classifier) classifyClique(ci int) {
 				if i == j {
 					continue
 				}
-				if c := sixViaOnePartnerPair(g, inC, owner, ps[i].partner, ps[j].partner); c != nil {
+				if c := sixViaOnePartnerPair(g, cliqueOf, ci, owner, ps[i].partner, ps[j].partner); c != nil {
 					cl.mark(ci, c)
 					return
 				}
@@ -311,24 +333,26 @@ func witnessNonAdjacent(g *graph.Graph, members []int, u1, u2 int) *Loophole {
 }
 
 // sixViaOnePartnerPair searches a path a-b-c-d-e outside the clique between
-// two partners a, e of the same member.
-func sixViaOnePartnerPair(g *graph.Graph, inC func(int) bool, owner, a, e int) *Loophole {
+// two partners a, e of the same member. Clique membership is tested with a
+// direct CliqueOf compare; the closure this replaces was a measurable share
+// of the hard-clique classification profile.
+func sixViaOnePartnerPair(g *graph.Graph, cliqueOf []int, ci, owner, a, e int) *Loophole {
 	if a == e {
 		return nil
 	}
 	for _, nb := range g.Neighbors(a) {
 		b := int(nb)
-		if inC(b) || b == owner || b == a || b == e {
+		if cliqueOf[b] == ci || b == owner || b == a || b == e {
 			continue
 		}
 		for _, nc := range g.Neighbors(b) {
 			c := int(nc)
-			if inC(c) || c == owner || c == a || c == b || c == e {
+			if cliqueOf[c] == ci || c == owner || c == a || c == b || c == e {
 				continue
 			}
 			for _, nd := range g.Neighbors(c) {
 				d := int(nd)
-				if inC(d) || d == owner || d == a || d == b || d == c || d == e {
+				if cliqueOf[d] == ci || d == owner || d == a || d == b || d == c || d == e {
 					continue
 				}
 				if !g.HasEdge(d, e) {
@@ -344,9 +368,9 @@ func sixViaOnePartnerPair(g *graph.Graph, inC func(int) bool, owner, a, e int) *
 	return nil
 }
 
-func distinct(vs []int) bool {
-	for i := range vs {
-		for j := i + 1; j < len(vs); j++ {
+func distinct6(vs [6]int) bool {
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
 			if vs[i] == vs[j] {
 				return false
 			}

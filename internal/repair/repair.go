@@ -278,7 +278,7 @@ func PlanRecolor(net *local.Network, part *coloring.Partial, damaged []int, boun
 	tight := true
 	lists := make([]coloring.Palette, g.N())
 	for _, v := range damaged {
-		lists[v] = coloring.Available(g, part, v, bound)
+		coloring.AvailableInto(&lists[v], g, part, v, bound)
 		activeDeg := 0
 		for _, w := range g.Neighbors(v) {
 			if inDamaged[w] {
@@ -313,7 +313,9 @@ func PlanRecolor(net *local.Network, part *coloring.Partial, damaged []int, boun
 		if !a {
 			continue
 		}
-		lists[v] = coloring.Available(g, part, v, bound+1)
+		// Re-fill in place: the widened palette reuses the word storage the
+		// tight attempt allocated for damaged vertices.
+		coloring.AvailableInto(&lists[v], g, part, v, bound+1)
 	}
 	return &Plan{Active: active, Lists: lists, Grown: true}
 }

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deltacoloring"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/graphio"
+)
+
+// stageGraphDir writes one binary and one text copy of the small ring
+// family into a fresh directory, plus a file in a subdirectory.
+func stageGraphDir(t *testing.T) (string, *deltacoloring.Graph) {
+	t.Helper()
+	dir := t.TempDir()
+	g, err := graph.EasyCliqueRingStream(4, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WriteBinaryFile(filepath.Join(dir, "ring.dcsr"), g); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "ring.edges"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.Write(f, g, "staged ring"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := graphio.WriteBinaryFile(filepath.Join(dir, "sub", "nested.dcsr"), g); err != nil {
+		t.Fatal(err)
+	}
+	return dir, g
+}
+
+// TestFileSourceColorsStagedGraphs runs POST /v1/color against staged files
+// in both formats, including a nested relative path.
+func TestFileSourceColorsStagedGraphs(t *testing.T) {
+	dir, g := stageGraphDir(t)
+	_, cl, _ := newTestServer(t, Config{Workers: 2, GraphDir: dir})
+	for _, name := range []string{"ring.dcsr", "ring.edges", "sub/nested.dcsr"} {
+		resp, err := cl.Color(context.Background(), &ColorRequest{File: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mustVerify(t, g, resp)
+	}
+}
+
+// TestFileSourceContainment rejects escapes from the staged directory and
+// use of the source on a server without one.
+func TestFileSourceContainment(t *testing.T) {
+	dir, _ := stageGraphDir(t)
+	// A real sibling file that a traversal would reach if unchecked.
+	sibling := filepath.Join(filepath.Dir(dir), "outside.edges")
+	if err := os.WriteFile(sibling, []byte("2\n0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(sibling)
+	_, cl, _ := newTestServer(t, Config{Workers: 2, GraphDir: dir})
+	for _, name := range []string{
+		"../" + filepath.Base(sibling),
+		"sub/../../" + filepath.Base(sibling),
+		"/etc/hostname",
+		"",
+	} {
+		_, err := cl.Color(context.Background(), &ColorRequest{File: name})
+		if err == nil {
+			t.Fatalf("file %q accepted", name)
+		}
+	}
+	// Missing files inside the directory fail too, but as a load error.
+	if _, err := cl.Color(context.Background(), &ColorRequest{File: "missing.dcsr"}); err == nil {
+		t.Fatal("missing staged file accepted")
+	}
+
+	// No -graph-dir: the source is disabled outright.
+	_, cl2, _ := newTestServer(t, Config{Workers: 2})
+	_, err := cl2.Color(context.Background(), &ColorRequest{File: "ring.dcsr"})
+	if err == nil || !strings.Contains(err.Error(), "disabled") {
+		t.Fatalf("file source without graph-dir: %v", err)
+	}
+}
+
+// TestFileSourceSeedsDynamicGraph creates a dynamic store from a staged
+// binary file through POST /v1/graphs.
+func TestFileSourceSeedsDynamicGraph(t *testing.T) {
+	dir, g := stageGraphDir(t)
+	_, ts := newGraphServer(t, Config{Workers: 2, GraphDir: dir})
+	var created GraphResponse
+	if code := doJSON(t, ts, "POST", "/v1/graphs", &CreateGraphRequest{File: "ring.dcsr"}, &created); code != 201 {
+		t.Fatalf("create from file: status %d", code)
+	}
+	if created.Info.N != g.N() {
+		t.Fatalf("dynamic store n=%d, want %d", created.Info.N, g.N())
+	}
+	// And containment holds on this surface too.
+	if code := doJSON(t, ts, "POST", "/v1/graphs", &CreateGraphRequest{File: "../x.edges"}, nil); code != 400 {
+		t.Fatalf("traversal create: status %d", code)
+	}
+}

@@ -43,6 +43,9 @@ type CreateGraphRequest struct {
 	EdgeList string     `json:"edge_list,omitempty"`
 	Graph    *GraphSpec `json:"graph,omitempty"`
 	Gen      *GenSpec   `json:"gen,omitempty"`
+	// File names a staged graph under the server's -graph-dir, like the
+	// color request's file source.
+	File string `json:"file,omitempty"`
 	// FallbackDirtyFraction overrides the store's incremental-maintenance
 	// ceiling (0 keeps the default; negative forces every batch to a full
 	// recompute).
@@ -260,15 +263,15 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cr := &ColorRequest{EdgeList: req.EdgeList, Graph: req.Graph, Gen: req.Gen}
+	cr := &ColorRequest{EdgeList: req.EdgeList, Graph: req.Graph, Gen: req.Gen, File: req.File}
 	sources := 0
-	for _, set := range []bool{req.EdgeList != "", req.Graph != nil, req.Gen != nil} {
+	for _, set := range []bool{req.EdgeList != "", req.Graph != nil, req.Gen != nil, req.File != ""} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		writeError(w, http.StatusBadRequest, "exactly one of edge_list, graph, or gen is required")
+		writeError(w, http.StatusBadRequest, "exactly one of edge_list, graph, gen, or file is required")
 		return
 	}
 	if req.Backend != "" {
@@ -278,7 +281,7 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	g, err := buildGraph(cr, s.cfg.MaxVertices)
+	g, err := buildGraph(cr, s.cfg.MaxVertices, s.cfg.GraphDir)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
 		return

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
 	"strings"
 	"sync"
 
@@ -36,6 +37,11 @@ type ColorRequest struct {
 	Graph *GraphSpec `json:"graph,omitempty"`
 	// Gen names one of the built-in dense generator families.
 	Gen *GenSpec `json:"gen,omitempty"`
+	// File names a graph file staged under the server's -graph-dir (text
+	// or binary format, sniffed), as a relative path confined to that
+	// directory. Requests using it answer 400 when the server has no graph
+	// directory configured.
+	File string `json:"file,omitempty"`
 	// Async makes the request return 202 with a job ID immediately;
 	// poll GET /v1/jobs/{id} for the result.
 	Async bool `json:"async,omitempty"`
@@ -144,13 +150,13 @@ func parseRequest(r io.Reader) (*ColorRequest, error) {
 		return nil, fmt.Errorf("timeout_ms must be non-negative")
 	}
 	sources := 0
-	for _, set := range []bool{req.EdgeList != "", req.Graph != nil, req.Gen != nil} {
+	for _, set := range []bool{req.EdgeList != "", req.Graph != nil, req.Gen != nil, req.File != ""} {
 		if set {
 			sources++
 		}
 	}
 	if sources != 1 {
-		return nil, fmt.Errorf("exactly one of edge_list, graph, or gen is required")
+		return nil, fmt.Errorf("exactly one of edge_list, graph, gen, or file is required")
 	}
 	return req, nil
 }
@@ -171,9 +177,12 @@ func validateBackendName(name string) error {
 }
 
 // buildGraph materializes the request's graph source. maxN caps the vertex
-// count of every source before the big allocations happen.
-func buildGraph(req *ColorRequest, maxN int) (*graph.Graph, error) {
+// count of every source before the big allocations happen; graphDir is the
+// staged-file root for the file source (empty = disabled).
+func buildGraph(req *ColorRequest, maxN int, graphDir string) (*graph.Graph, error) {
 	switch {
+	case req.File != "":
+		return loadStagedGraph(req.File, graphDir, maxN)
 	case req.EdgeList != "":
 		g, err := graphio.ReadMax(strings.NewReader(req.EdgeList), maxN)
 		if err != nil {
@@ -193,6 +202,30 @@ func buildGraph(req *ColorRequest, maxN int) (*graph.Graph, error) {
 		return buildGen(req.Gen, maxN)
 	}
 	return nil, fmt.Errorf("no graph source")
+}
+
+// loadStagedGraph serves the file request source: name is resolved
+// relative to the operator-staged graph directory and must stay inside it —
+// absolute paths and any path whose lexical resolution escapes the root
+// (filepath.IsLocal) are rejected before touching the filesystem. The file
+// loads into heap-owned arrays (never a mapping, whose lifetime a queued
+// async job could not scope), and the vertex cap applies like every other
+// source.
+func loadStagedGraph(name, dir string, maxN int) (*graph.Graph, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("file source is disabled (server started without -graph-dir)")
+	}
+	if !filepath.IsLocal(name) {
+		return nil, fmt.Errorf("file %q escapes the graph directory", name)
+	}
+	g, err := graphio.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("file %q: %w", name, err)
+	}
+	if g.N() > maxN {
+		return nil, fmt.Errorf("file %q has n=%d, above the %d-vertex limit", name, g.N(), maxN)
+	}
+	return g, nil
 }
 
 // buildGen validates a generator spec upfront: the graph constructors panic

@@ -87,6 +87,11 @@ type Config struct {
 	// MaxMutationsPerBatch bounds one POST /v1/graphs/{id}/mutations body
 	// (default 4096).
 	MaxMutationsPerBatch int
+	// GraphDir, when set, serves the color request's "file" source:
+	// operator-staged graph files (text or binary, sniffed by magic)
+	// addressed by a relative path confined to this directory. Empty
+	// disables the source.
+	GraphDir string
 	// DataDir, when set, makes every dynamic graph durable: WAL +
 	// checkpoints under DataDir/<graph-id>, background recovery at startup
 	// (readiness gated until it finishes), flush + final checkpoint on
@@ -749,7 +754,7 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 		}
 		req.Backend = qb
 	}
-	g, err := buildGraph(req, s.cfg.MaxVertices)
+	g, err := buildGraph(req, s.cfg.MaxVertices, s.cfg.GraphDir)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad graph: %v", err)
 		return
