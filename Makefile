@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check race chaos chaos-restart conformance coverage-invariant serve bench bench-smoke bench-arena bench-dynamic bench-wal bench-scale report report-full report-faults report-frontier fuzz clean
+.PHONY: all build vet test test-short check race chaos chaos-restart chaos-shard conformance coverage-invariant serve bench bench-smoke bench-arena bench-dynamic bench-wal bench-scale bench-shard report report-full report-faults report-frontier fuzz clean
 
 # `check` is the default CI path: vet + the full test suite under -race.
 all: build check
@@ -32,6 +32,15 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestPanic|TestQuarantine|TestWatchdog|TestBreaker|TestServerSideRetry|TestIdempotency|TestClientColorRetry|TestHardening|TestServiceChaos' . ./internal/service/
 	$(GO) test -race -count=1 ./internal/faults/ ./internal/repair/
+
+# Sharded-cluster chaos (DESIGN.md §15): seeded worker kill/hang/corrupt
+# plans through the coordinator and its transports, plus the service-level
+# guarantee that a damaged cluster never answers 200 with an invalid or
+# partial coloring. DELTA_CHAOS_ITERS scales the root soak.
+chaos-shard:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestChaosShard' .
+	$(GO) test -race -count=1 -run 'TestShardChaosNeverServesBadColoring|TestShardWorkerEndpointRoundTrip|TestColorShardedConcurrent' ./internal/service/
 
 # The restart chaos harness (DESIGN.md §13): a child deltaserved process on
 # a durable data dir is SIGKILLed at seeded points mid-mutation-stream and
@@ -107,6 +116,14 @@ bench-wal:
 bench-scale:
 	$(GO) run ./cmd/deltabench -scalebench -scale quick -bench-out BENCH_scale.ci.json
 
+# The sharded-cluster benchmark (EXPERIMENTS.md E25): coordinator ns/op and
+# per-run p50/p99 across shard counts, in-process and over the
+# /v1/shard/rounds HTTP protocol against loopback worker hosts, every run
+# compared bit-for-bit against the single-process oracle. Drop -quick and
+# point -out at BENCH_shard.json to regenerate the checked-in artifact.
+bench-shard:
+	$(GO) run ./cmd/deltastorm -shard -quick -out BENCH_shard.ci.json
+
 # The evaluation tables of EXPERIMENTS.md (standard scale, a few minutes),
 # followed by the frontier-occupancy table E19.
 report:
@@ -133,6 +150,7 @@ fuzz:
 	$(GO) test -fuzz FuzzBuilder -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzRepair -fuzztime 30s ./internal/repair/
 	$(GO) test -fuzz FuzzFrontier -fuzztime 30s ./internal/local/
+	$(GO) test -fuzz FuzzPartition -fuzztime 30s ./internal/shard/
 
 clean:
 	$(GO) clean ./...

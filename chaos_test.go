@@ -1,13 +1,17 @@
 package deltacoloring_test
 
 import (
+	"context"
 	"os"
 	"reflect"
 	"strconv"
 	"testing"
+	"time"
 
 	"deltacoloring"
 	"deltacoloring/internal/faults"
+	"deltacoloring/internal/local"
+	"deltacoloring/internal/shard"
 )
 
 // chaosIters returns the per-case fault-seed count: 3 by default, raised via
@@ -160,6 +164,44 @@ func TestChaosEngineFaultsDeterministic(t *testing.T) {
 		d2, r2 := p2.Damage(colors)
 		if !reflect.DeepEqual(d1, d2) || !reflect.DeepEqual(r1, r2) {
 			t.Fatalf("seed %d: identical plans produced different damage", seed)
+		}
+	}
+}
+
+// TestChaosShard is the sharded-cluster chaos property: a seeded fault plan
+// kills, hangs, or corrupts one worker mid-run, and the coordinator must
+// either fail cleanly with an error or deliver the coloring bit-identical
+// to the single-process greedy run — a faulted cluster never serves a
+// silently wrong result. DELTA_CHAOS_ITERS scales the seed soak like the
+// other chaos cases.
+func TestChaosShard(t *testing.T) {
+	iters := chaosIters(t)
+	g := deltacoloring.GenEasyCliqueRing(6, 16)
+	net := local.New(g)
+	oracle, oracleRounds, err := shard.SolveSingle(net)
+	net.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := []string{shard.ChaosCrash, shard.ChaosHang, shard.ChaosCorruptExchange, shard.ChaosCorruptFinish}
+	for _, mode := range modes {
+		for _, k := range []int{2, 4} {
+			for seed := int64(0); seed < iters; seed++ {
+				tr := shard.NewChaosTransport(shard.NewInProcess(),
+					shard.ChaosPlan{Mode: mode, Seed: uint64(seed) + 1, Prob: 0.3})
+				res, err := shard.Run(context.Background(), g, shard.Config{
+					K: k, Transport: tr, CallTimeout: 250 * time.Millisecond,
+				})
+				if err != nil {
+					continue // clean failure: the acceptable outcome
+				}
+				if mode == shard.ChaosHang && tr.Fired() {
+					t.Fatalf("%s k=%d seed %d: run succeeded through a hung worker", mode, k, seed)
+				}
+				if !reflect.DeepEqual(res.Colors, oracle) || res.Rounds != oracleRounds {
+					t.Fatalf("%s k=%d seed %d: fault survived into a drifted coloring", mode, k, seed)
+				}
+			}
 		}
 	}
 }

@@ -9,10 +9,17 @@
 //	            [-max-graphs 16] [-mutation-queue 32]
 //	            [-data-dir DIR] [-fsync always|interval|off] [-checkpoint-every 64]
 //	            [-graph-dir DIR]
+//	            [-shards 16] [-workers-addrs URL1,URL2,...]
 //
 // With -graph-dir, color and graph-create requests may name operator-staged
 // graph files (text or binary format) through their "file" source; paths
 // are confined to the directory.
+//
+// With -workers-addrs, sharded ?shards= color requests fan their cross-cut
+// LOCAL rounds out to the listed worker instances over POST /v1/shard/rounds
+// (each instance serves the endpoint itself, so plain deltaserved processes
+// form the cluster); without it, shards run in-process. -shards caps the
+// per-request shard count.
 //
 // With -data-dir, every dynamic graph is durable: mutation batches are
 // written to a per-graph WAL before they are acknowledged, checkpoints bound
@@ -32,8 +39,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,12 +72,25 @@ func run(args []string) error {
 	graphDir := fs.String("graph-dir", "", "directory of staged graph files served by the \"file\" request source (empty: disabled)")
 	fsyncFlag := fs.String("fsync", "always", "WAL flush policy: always, interval, or off")
 	ckptEvery := fs.Int("checkpoint-every", 64, "checkpoint a durable graph after this many batches (negative disables)")
+	maxShards := fs.Int("shards", 16, "cap on per-request ?shards= shard counts")
+	workersAddrs := fs.String("workers-addrs", "", "comma-separated worker base URLs for sharded runs (empty: shards run in-process)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	fsync, err := durable.ParseFsyncPolicy(*fsyncFlag)
 	if err != nil {
 		return err
+	}
+	var shardAddrs []string
+	for _, a := range strings.Split(*workersAddrs, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		u, err := url.Parse(a)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return fmt.Errorf("bad -workers-addrs entry %q (want e.g. http://10.0.0.2:8090)", a)
+		}
+		shardAddrs = append(shardAddrs, strings.TrimRight(a, "/"))
 	}
 
 	svc := service.New(service.Config{
@@ -83,6 +105,8 @@ func run(args []string) error {
 		GraphDir:           *graphDir,
 		Fsync:              fsync,
 		CheckpointEvery:    *ckptEvery,
+		MaxShards:          *maxShards,
+		ShardAddrs:         shardAddrs,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -95,6 +119,9 @@ func run(args []string) error {
 		durability := "in-memory graphs"
 		if *dataDir != "" {
 			durability = fmt.Sprintf("durable graphs in %s (fsync=%s)", *dataDir, fsync)
+		}
+		if len(shardAddrs) > 0 {
+			log.Printf("deltaserved: sharded runs fan out to %d workers: %s", len(shardAddrs), strings.Join(shardAddrs, ", "))
 		}
 		log.Printf("deltaserved: listening on %s (%d workers, queue %d, cache %d, %s)",
 			*addr, *workers, *queue, *cache, durability)

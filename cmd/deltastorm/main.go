@@ -13,7 +13,8 @@
 // Usage:
 //
 //	deltastorm [-quick] [-out BENCH_dynamic.json] [-seed 7]
-//	deltastorm -wal [-quick] [-out BENCH_wal.json]   # durable-layer benchmarks
+//	deltastorm -wal [-quick] [-out BENCH_wal.json]     # durable-layer benchmarks
+//	deltastorm -shard [-quick] [-conc 4] [-out BENCH_shard.json]  # sharded-cluster benchmarks
 package main
 
 import (
@@ -33,13 +34,13 @@ import (
 
 // workloadResult is one (family, batch-size) stream record.
 type workloadResult struct {
-	Name       string  `json:"name"`
-	N          int     `json:"n"`
-	M          int     `json:"m"`
-	Delta      int     `json:"delta"`
-	Batches    int     `json:"batches"`
-	BatchSize  int     `json:"batch_size"`
-	BatchPct   float64 `json:"batch_pct_of_edges"`
+	Name      string  `json:"name"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Delta     int     `json:"delta"`
+	Batches   int     `json:"batches"`
+	BatchSize int     `json:"batch_size"`
+	BatchPct  float64 `json:"batch_pct_of_edges"`
 	// Localized marks streams whose mutations cluster in a BFS ball (the
 	// regime incremental maintenance is designed for) instead of being
 	// spread uniformly over the vertex set.
@@ -298,7 +299,17 @@ func main() {
 	frac := flag.Float64("frac", 0.5, "FallbackDirtyFraction for the stores (0 = package default)")
 	noCheck := flag.Bool("no-check", false, "skip the per-batch oracle (timing is unaffected either way)")
 	wal := flag.Bool("wal", false, "benchmark the durable WAL layer instead (fsync overhead + recovery time)")
+	shardMode := flag.Bool("shard", false, "benchmark the deltashard cluster instead (shard counts x transports)")
+	conc := flag.Int("conc", 4, "concurrent coordinator streams in -shard mode")
 	flag.Parse()
+
+	if *shardMode {
+		if err := runShardBench(*quick, *conc, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "deltastorm: shard: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *wal {
 		if err := runWALBench(*quick, *seed, *out); err != nil {

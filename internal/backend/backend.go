@@ -46,6 +46,11 @@ type Caps struct {
 	Faults bool
 	// Randomized: the backend consumes Params.Rand/Params.Seed.
 	Randomized bool
+	// PaletteSlack is how many colors beyond Δ the backend's results may
+	// use: verification bounds are MaxDegree() + PaletteSlack. The zero
+	// value keeps the paper pipelines' strict Δ-coloring contract; the
+	// greedy/sharded wire algorithm declares 1 (it is a Δ+1 coloring).
+	PaletteSlack int
 }
 
 // RunOptions tunes one Color call. A nil pointer means defaults.

@@ -1,0 +1,48 @@
+package backend
+
+import (
+	"context"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+	"deltacoloring/internal/shard"
+)
+
+// greedyBackend publishes the sharded subsystem's wire algorithm — greedy
+// deg+1 coloring with ID-local-max symmetry breaking — as a registry
+// backend. It is the one backend whose runs shard across processes
+// bit-identically (see internal/shard and DESIGN.md §15), and the oracle
+// the sharded conformance suite compares clusters against. Unlike the
+// paper pipelines it uses Δ+1 colors, declared via Caps.PaletteSlack.
+type greedyBackend struct{}
+
+func (greedyBackend) Name() string { return "greedy" }
+
+func (greedyBackend) Caps() Caps {
+	return Caps{Checkpoints: true, Frontier: true, PaletteSlack: 1}
+}
+
+func (greedyBackend) Color(ctx context.Context, g *graph.Graph, _ Params, opts *RunOptions) (*Result, error) {
+	var res *Result
+	err := Exec(ctx, g, opts, func(net *local.Network) error {
+		colors, rounds, serr := shard.SolveSingle(net)
+		if serr != nil {
+			return serr
+		}
+		res = &Result{
+			Colors:   colors,
+			Rounds:   rounds,
+			Spans:    net.Spans(),
+			Frontier: net.FrontierStats(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func init() {
+	Register(greedyBackend{})
+}

@@ -1,0 +1,29 @@
+package graph
+
+import "fmt"
+
+// EqualCSR reports whether a and b are structurally identical graphs: the
+// same CSR offsets, the same edge array, and the same vertex IDs. Because
+// every constructor in this package emits canonical CSR (sorted,
+// deduplicated adjacency), structural equality of the arrays is exactly
+// graph equality — two equal graphs also encode to identical bytes. The
+// error names the first divergence; nil means identical.
+func EqualCSR(a, b *Graph) error {
+	if a.N() != b.N() {
+		return fmt.Errorf("graph: n=%d vs %d", a.N(), b.N())
+	}
+	for v := 0; v < a.N(); v++ {
+		if a.ids[v] != b.ids[v] {
+			return fmt.Errorf("graph: vertex %d: ID %d vs %d", v, a.ids[v], b.ids[v])
+		}
+		if a.offsets[v+1] != b.offsets[v+1] {
+			return fmt.Errorf("graph: vertex %d: degree %d vs %d", v, a.Degree(v), b.Degree(v))
+		}
+	}
+	for i := range a.edges {
+		if a.edges[i] != b.edges[i] {
+			return fmt.Errorf("graph: edge slot %d: neighbor %d vs %d", i, a.edges[i], b.edges[i])
+		}
+	}
+	return nil
+}

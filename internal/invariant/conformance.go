@@ -161,7 +161,7 @@ func RunMatrix(ws []Workload, opt Options) []WorkloadResult {
 		opt.logf("workload %s: n=%d Δ=%d", w.Name, w.Graph.N(), w.Graph.MaxDegree())
 		r := WorkloadResult{Name: w.Name}
 		if w.Primitive {
-			r.Suites = append(r.Suites, primitiveSuite(w), oracleSuite(w))
+			r.Suites = append(r.Suites, primitiveSuite(w), oracleSuite(w), shardedSuite(w, opt))
 			results = append(results, r)
 			continue
 		}
@@ -170,7 +170,7 @@ func RunMatrix(ws []Workload, opt Options) []WorkloadResult {
 			results = append(results, r)
 			continue
 		}
-		r.Suites = append(r.Suites, pipelineSuite(w), oracleSuite(w), metamorphicSuite(w, opt))
+		r.Suites = append(r.Suites, pipelineSuite(w), oracleSuite(w), metamorphicSuite(w, opt), shardedSuite(w, opt))
 		if w.Det {
 			r.Suites = append(r.Suites, faultReplaySuite(w))
 			if !opt.SkipNegative {

@@ -21,6 +21,7 @@ import (
 	"deltacoloring/internal/matching"
 	"deltacoloring/internal/repair"
 	"deltacoloring/internal/rulingset"
+	"deltacoloring/internal/shard"
 	"deltacoloring/internal/sinkless"
 	"deltacoloring/internal/split"
 
@@ -308,6 +309,17 @@ func DefaultCheckers() []Checker {
 			},
 		},
 		{
+			Invariant: "shard/edge-cut",
+			Phases:    []string{"shard/partition"},
+			Check: func(g *graph.Graph, a any) (bool, error) {
+				p, ok := a.(*shard.Partition)
+				if !ok {
+					return false, nil
+				}
+				return true, shard.VerifyPartition(g, p)
+			},
+		},
+		{
 			Invariant: "repair/complete",
 			Phases:    []string{"repair"},
 			Check: func(g *graph.Graph, a any) (bool, error) {
@@ -429,6 +441,14 @@ func Corrupt(artifact any) bool {
 					ck.O.Tail[i] = e.U + e.V - t
 				}
 			}
+			return true
+		}
+	case *shard.Partition:
+		// Reassign one vertex's owner without updating the parts: the
+		// exactly-one-ownership invariant breaks. A 1-shard partition has no
+		// other owner to blame, so it cannot be damaged this way.
+		if ck.K > 1 && len(ck.Owner) > 0 {
+			ck.Owner[0] = (ck.Owner[0] + 1) % int32(ck.K)
 			return true
 		}
 	case *repair.Snapshot:

@@ -1,0 +1,54 @@
+package invariant
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"deltacoloring/internal/graph"
+)
+
+// TestShardedSuitePasses: the sharded metamorphic suite (oracle run, the
+// ShardCounts sweep, and all three corruption controls) is green on graphs
+// with and without cut edges.
+func TestShardedSuitePasses(t *testing.T) {
+	workloads := []Workload{
+		{Name: "grid", Graph: graph.PermuteIDs(graph.Grid(8, 6), rand.New(rand.NewSource(1)))},
+		{Name: "regular", Graph: graph.RandomRegular(60, 5, rand.New(rand.NewSource(2)))},
+		{Name: "singleton", Graph: graph.Path(1)},
+	}
+	for _, w := range workloads {
+		s := shardedSuite(w, Options{})
+		if s.Err != nil {
+			t.Errorf("%s: %v", w.Name, s.Err)
+		}
+		if s.Suite != "sharded" {
+			t.Errorf("%s: suite labeled %q", w.Name, s.Suite)
+		}
+	}
+}
+
+// TestShardedSuiteInMatrix: RunMatrix attaches the sharded suite to every
+// non-rejection row, and the Δ=63 rejection row keeps its exactly-one-suite
+// shape.
+func TestShardedSuiteInMatrix(t *testing.T) {
+	ws := []Workload{
+		{Name: "cycle", Graph: graph.Cycle(24), Primitive: true, Seed: 3},
+	}
+	results := RunMatrix(ws, Options{})
+	found := false
+	for _, s := range results[0].Suites {
+		if s.Suite == "sharded" {
+			found = true
+			if s.Err != nil {
+				t.Fatalf("sharded suite failed: %v", s.Err)
+			}
+			if !strings.Contains(s.Detail, "bit-identical") {
+				t.Fatalf("sharded detail %q", s.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("sharded suite missing from a primitive row")
+	}
+}

@@ -1,0 +1,40 @@
+package local
+
+import "fmt"
+
+// SparseStep runs one synchronous round restricted to an explicit
+// activation set: f is evaluated — against the pre-round states, exactly
+// like Step — only on the listed vertices, every other vertex keeps its
+// state, and the indices whose state actually changed are appended to
+// changed (which may be nil) and returned. One call charges exactly one
+// round and records a sparse engine round, so span and frontier accounting
+// line up with the frontier scheduler's.
+//
+// The evaluation is two-phase (gather all next states, then apply), so
+// results are independent of the order of the active list; duplicate
+// entries are the caller's responsibility to avoid. Unlike Step, the
+// buffers do not flip: States keeps returning the same slice, which is what
+// lets callers that interleave external state writes (the shard workers
+// applying ghost updates between rounds) hold one stable view. Fault hooks
+// are not consulted — sharded runs inject faults at the transport layer
+// instead.
+func (r *Runner[S]) SparseStep(active []int32, changed []int32,
+	f func(v int, self S, nbrs Nbrs[S]) S) []int32 {
+	n := r.net
+	if len(r.cur) != n.g.N() {
+		panic(fmt.Sprintf("local: state slice has %d entries, graph has %d vertices", len(r.cur), n.g.N()))
+	}
+	n.Charge(1)
+	n.counter.recordEngineRound(true, int64(len(active)), int64(len(r.cur)-len(active)))
+	g := n.g
+	for _, v := range active {
+		r.next[v] = f(int(v), r.cur[v], Nbrs[S]{list: g.Neighbors(int(v)), st: r.cur})
+	}
+	for _, v := range active {
+		if r.next[v] != r.cur[v] {
+			r.cur[v] = r.next[v]
+			changed = append(changed, v)
+		}
+	}
+	return changed
+}

@@ -1,0 +1,134 @@
+package local
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"deltacoloring/internal/graph"
+)
+
+// incRule bumps a vertex's state when any closed-neighborhood value is even;
+// it is pure and state-dependent, which is all SparseStep requires.
+func incRule(v int, self int, nbrs Nbrs[int]) int {
+	if self%2 == 0 {
+		return self + 1
+	}
+	for i := 0; i < nbrs.Len(); i++ {
+		if nbrs.State(i)%2 == 0 {
+			return self + 1
+		}
+	}
+	return self
+}
+
+// TestSparseStepMatchesStepOnFullActivation: with every vertex active, one
+// SparseStep computes exactly what one dense Step computes.
+func TestSparseStepMatchesStepOnFullActivation(t *testing.T) {
+	g := graph.Grid(6, 5)
+	init := make([]int, g.N())
+	for v := range init {
+		init[v] = v % 4
+	}
+	dense := New(g)
+	defer dense.Close()
+	dr := NewRunner(dense, append([]int(nil), init...))
+	want := append([]int(nil), dr.Step(incRule)...)
+
+	sparse := New(g)
+	defer sparse.Close()
+	sr := NewRunner(sparse, append([]int(nil), init...))
+	all := make([]int32, g.N())
+	for v := range all {
+		all[v] = int32(v)
+	}
+	changed := sr.SparseStep(all, nil, incRule)
+	if !reflect.DeepEqual(sr.States(), want) {
+		t.Fatalf("full-activation SparseStep diverges from Step:\n got %v\nwant %v", sr.States(), want)
+	}
+	for _, v := range changed {
+		if want[v] == init[v] {
+			t.Fatalf("vertex %d reported changed but did not change", v)
+		}
+	}
+	wantChanged := 0
+	for v := range want {
+		if want[v] != init[v] {
+			wantChanged++
+		}
+	}
+	if len(changed) != wantChanged {
+		t.Fatalf("changed lists %d vertices, want %d", len(changed), wantChanged)
+	}
+	if sparse.Rounds() != 1 {
+		t.Fatalf("SparseStep charged %d rounds, want 1", sparse.Rounds())
+	}
+}
+
+// TestSparseStepIsOrderIndependent: the two-phase evaluation makes the
+// result independent of the activation list's order.
+func TestSparseStepIsOrderIndependent(t *testing.T) {
+	g := graph.Cycle(17)
+	init := make([]int, g.N())
+	for v := range init {
+		init[v] = (v * 3) % 5
+	}
+	run := func(order []int32) []int {
+		net := New(g)
+		defer net.Close()
+		r := NewRunner(net, append([]int(nil), init...))
+		r.SparseStep(order, nil, incRule)
+		return append([]int(nil), r.States()...)
+	}
+	asc := make([]int32, g.N())
+	for v := range asc {
+		asc[v] = int32(v)
+	}
+	want := run(asc)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]int32(nil), asc...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := run(shuffled); !reflect.DeepEqual(got, want) {
+			t.Fatalf("activation order changed the result:\n got %v\nwant %v", got, want)
+		}
+	}
+}
+
+// TestSparseStepSkipsInactive: vertices outside the activation set keep
+// their state even when the rule would have changed them, States() stays the
+// same backing slice across calls, and sparse rounds are recorded.
+func TestSparseStepSkipsInactive(t *testing.T) {
+	g := graph.Path(10)
+	init := make([]int, g.N())
+	net := New(g)
+	defer net.Close()
+	var span Span
+	net.SetSpanHook(func(sp Span) { span = sp })
+	end := net.Phase("sparse-test")
+	r := NewRunner(net, init)
+	before := r.States()
+	changed := r.SparseStep([]int32{0, 3}, nil, incRule)
+	if &r.States()[0] != &before[0] {
+		t.Fatal("SparseStep flipped the state buffers; external views are broken")
+	}
+	if !reflect.DeepEqual(changed, []int32{0, 3}) {
+		t.Fatalf("changed = %v, want [0 3]", changed)
+	}
+	for v, s := range r.States() {
+		want := 0
+		if v == 0 || v == 3 {
+			want = 1
+		}
+		if s != want {
+			t.Fatalf("state[%d] = %d, want %d", v, s, want)
+		}
+	}
+	end()
+	if span.SparseRounds != 1 {
+		t.Fatalf("span recorded %d sparse rounds, want 1", span.SparseRounds)
+	}
+	if span.ActiveVertices != 2 || span.SkippedVertices != int64(g.N()-2) {
+		t.Fatalf("span active/skipped = %d/%d, want 2/%d", span.ActiveVertices, span.SkippedVertices, g.N()-2)
+	}
+}

@@ -52,6 +52,11 @@ type metrics struct {
 	activeVertices  uint64
 	skippedVertices uint64
 
+	shardRuns            uint64
+	shardCutEdges        uint64
+	shardBoundaryUpdates uint64
+	shardStepCalls       uint64
+
 	buckets      []float64 // upper bounds in seconds, ascending; +Inf implied
 	bucketCounts []uint64  // non-cumulative per-bucket counts, len = len(buckets)+1
 	durSum       float64
@@ -103,6 +108,17 @@ func (m *metrics) backendJob(name string) {
 	}
 	m.mu.Lock()
 	m.backendJobs[name]++
+	m.mu.Unlock()
+}
+
+// shardRun records one completed sharded coloring run and its cross-cut
+// traffic counters.
+func (m *metrics) shardRun(cutEdges, boundaryUpdates, stepCalls int) {
+	m.mu.Lock()
+	m.shardRuns++
+	m.shardCutEdges += uint64(cutEdges)
+	m.shardBoundaryUpdates += uint64(boundaryUpdates)
+	m.shardStepCalls += uint64(stepCalls)
 	m.mu.Unlock()
 }
 
@@ -190,6 +206,10 @@ func (m *metrics) writeTo(w io.Writer, queueDepth, workers, breakerState, dynGra
 	counter("deltaserved_engine_sparse_rounds_total", "State-engine rounds that ran on the frontier-scheduled sparse path.", m.sparseRounds)
 	counter("deltaserved_engine_active_vertices_total", "Vertex evaluations performed by the state engine.", m.activeVertices)
 	counter("deltaserved_engine_skipped_vertices_total", "Vertex evaluations skipped by frontier scheduling.", m.skippedVertices)
+	counter("deltaserved_shard_runs_total", "Completed sharded (?shards=) coloring runs.", m.shardRuns)
+	counter("deltaserved_shard_cut_edges_total", "Parent edges cut by shard partitions across completed sharded runs.", m.shardCutEdges)
+	counter("deltaserved_shard_boundary_updates_total", "Boundary-state messages routed across the cut by sharded runs.", m.shardBoundaryUpdates)
+	counter("deltaserved_shard_step_calls_total", "Worker Step calls issued by sharded runs (quiet shards are skipped).", m.shardStepCalls)
 
 	fmt.Fprintf(w, "# HELP deltaserved_queue_depth Jobs currently waiting in the FIFO queue.\n# TYPE deltaserved_queue_depth gauge\ndeltaserved_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "# HELP deltaserved_workers Size of the worker pool.\n# TYPE deltaserved_workers gauge\ndeltaserved_workers %d\n", workers)

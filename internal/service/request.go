@@ -49,6 +49,14 @@ type ColorRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the result cache for this request.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Shards > 0 runs the greedy wire algorithm sharded across this many
+	// workers with cross-cut LOCAL rounds (in-process by default, over the
+	// cluster's /v1/shard/rounds workers when the server was started with
+	// -workers-addrs). The merged coloring is bit-identical to the
+	// single-process greedy run at any shard count. ?shards= on the URL is
+	// an equivalent spelling. Incompatible with algo=rand and with any
+	// backend other than "greedy".
+	Shards int `json:"shards,omitempty"`
 	// Check runs the job under the conformance harness: every pipeline phase
 	// checkpoints its intermediate state for the invariant checkers, and the
 	// final coloring is cross-checked against the sequential oracle. The
@@ -107,6 +115,13 @@ type ColorResponse struct {
 	Spans     []PhaseSpan   `json:"spans,omitempty"`
 	Shatter   *ShatterStats `json:"shatter,omitempty"`
 	ElapsedMS float64       `json:"elapsed_ms,omitempty"`
+	// Shards / CutEdges / BoundaryUpdates describe a sharded run: the shard
+	// count actually used (requests above the vertex count are clamped), the
+	// parent edges cut by the partition, and the boundary-state messages
+	// routed across the cut over the whole run.
+	Shards          int `json:"shards,omitempty"`
+	CutEdges        int `json:"cut_edges,omitempty"`
+	BoundaryUpdates int `json:"boundary_updates,omitempty"`
 	// Checks / CheckPhases report the conformance harness of a check=1 run:
 	// total checker firings and the distinct validated phase tags.
 	Checks      int      `json:"checks,omitempty"`
@@ -149,6 +164,12 @@ func parseRequest(r io.Reader) (*ColorRequest, error) {
 	if req.TimeoutMS < 0 {
 		return nil, fmt.Errorf("timeout_ms must be non-negative")
 	}
+	if req.Shards < 0 {
+		return nil, fmt.Errorf("shards must be non-negative")
+	}
+	if err := validateShardCombo(req); err != nil {
+		return nil, err
+	}
 	sources := 0
 	for _, set := range []bool{req.EdgeList != "", req.Graph != nil, req.Gen != nil, req.File != ""} {
 		if set {
@@ -172,6 +193,23 @@ func validateBackendName(name string) error {
 	if _, err := backend.Get(name); err != nil {
 		return fmt.Errorf("unknown backend %q (want auto or one of: %s)",
 			name, strings.Join(backend.Names(), ", "))
+	}
+	return nil
+}
+
+// validateShardCombo rejects shard counts combined with knobs the sharded
+// path cannot honor: sharding always runs the greedy wire algorithm, so a
+// randomized algo or a different explicit backend would be silently ignored.
+// Called again after query-param overrides, which can add a backend.
+func validateShardCombo(req *ColorRequest) error {
+	if req.Shards == 0 {
+		return nil
+	}
+	if req.Algo == "rand" {
+		return fmt.Errorf("shards=%d runs the greedy wire algorithm; algo=rand is incompatible", req.Shards)
+	}
+	if req.Backend != "" && req.Backend != "greedy" {
+		return fmt.Errorf("shards=%d runs the greedy wire algorithm; backend %q is incompatible (drop it or use greedy)", req.Shards, req.Backend)
 	}
 	return nil
 }
@@ -282,6 +320,12 @@ func cacheKey(g *graph.Graph, req *ColorRequest) string {
 		// (checks summary); keep the cache entries separate so an unchecked
 		// hit never masquerades as a validated one.
 		key += "|check=true"
+	}
+	if req.Shards > 0 {
+		// Sharded runs are bit-identical to the single-process greedy run,
+		// but the response carries per-shard traffic counters; isolate the
+		// entries per shard count so those never cross-contaminate.
+		key += fmt.Sprintf("|shards=%d", req.Shards)
 	}
 	return key
 }

@@ -35,6 +35,7 @@ import (
 	"deltacoloring/internal/graph"
 	"deltacoloring/internal/invariant"
 	"deltacoloring/internal/local"
+	"deltacoloring/internal/shard"
 )
 
 // Config sizes the server. The zero value is usable: every field falls back
@@ -105,6 +106,17 @@ type Config struct {
 	// CheckpointEvery snapshots each durable graph and truncates its log
 	// after this many batches (default 64; negative disables).
 	CheckpointEvery int
+	// ShardAddrs lists worker base URLs (e.g. "http://10.0.0.2:8081") for
+	// sharded ?shards= runs: shard s is served by ShardAddrs[s mod len] over
+	// POST /v1/shard/rounds. Empty runs every shard in-process. Every
+	// deltaserved instance also serves /v1/shard/rounds itself, so any
+	// instance can be another's worker.
+	ShardAddrs []string
+	// MaxShards caps the per-request shard count (default 16).
+	MaxShards int
+	// ShardSessionTTL reaps worker-host sessions idle past it — state left
+	// behind by a coordinator that died mid-run (default 5m).
+	ShardSessionTTL time.Duration
 
 	// runHook, when set, runs on the worker goroutine just before a job's
 	// pipeline starts (once per attempt). It is a test seam for making
@@ -113,6 +125,10 @@ type Config struct {
 	// dynNetHook, when set, is installed as every dynamic store's NetHook.
 	// It is the chaos test seam for the /v1/graphs maintenance path.
 	dynNetHook func(*local.Network)
+	// shardTransport, when set, builds the transport for every sharded run
+	// instead of the ShardAddrs/in-process default. It is the chaos test
+	// seam for the cluster path.
+	shardTransport func(session string) shard.Transport
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +182,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxMutationsPerBatch <= 0 {
 		c.MaxMutationsPerBatch = 4096
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 16
 	}
 	return c
 }
@@ -242,11 +261,12 @@ func (j *job) finish(resp *ColorResponse, status int) {
 // Server is the serving subsystem; create with New, expose via Handler, and
 // stop with Shutdown.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	met     *metrics
-	cache   *lruCache
-	breaker *breaker
+	cfg       Config
+	mux       *http.ServeMux
+	met       *metrics
+	cache     *lruCache
+	breaker   *breaker
+	shardHost *shard.Host
 
 	queue   chan *job
 	qmu     sync.RWMutex // guards queue sends against close
@@ -263,8 +283,8 @@ type Server struct {
 	graphs     map[string]*graphStore
 	graphSeq   uint64
 	graphsWG   sync.WaitGroup
-	graphsResv int               // IDs allocated but not yet installed
-	walBase    durable.WALStats  // retired counters from destroyed stores
+	graphsResv int              // IDs allocated but not yet installed
+	walBase    durable.WALStats // retired counters from destroyed stores
 
 	recovering  atomic.Bool
 	recMu       sync.Mutex
@@ -276,17 +296,19 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		met:     newMetrics(),
-		cache:   newLRU(cfg.CacheSize),
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		queue:   make(chan *job, cfg.QueueDepth),
-		jobs:    make(map[string]*job),
-		idem:    make(map[string]*job),
-		graphs:  make(map[string]*graphStore),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		met:       newMetrics(),
+		cache:     newLRU(cfg.CacheSize),
+		breaker:   newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		shardHost: shard.NewHost(cfg.ShardSessionTTL),
+		queue:     make(chan *job, cfg.QueueDepth),
+		jobs:      make(map[string]*job),
+		idem:      make(map[string]*job),
+		graphs:    make(map[string]*graphStore),
 	}
 	s.mux.HandleFunc("POST /v1/color", s.handleColor)
+	s.mux.HandleFunc("POST "+shard.RoundsPath, s.handleShardRounds)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
@@ -465,7 +487,8 @@ type runOutcome struct {
 	res      *deltacoloring.Result
 	shatter  *deltacoloring.RandStats
 	report   *deltacoloring.CheckReport
-	backend  string // resolved backend name ("auto" resolved to the pick)
+	sharded  *shard.Result // non-nil for ?shards= runs: K + cut traffic
+	backend  string        // resolved backend name ("auto" resolved to the pick)
 	err      error
 	panicked bool
 }
@@ -509,6 +532,12 @@ func (s *Server) runJob(j *job) {
 			resp := resultResponse(j.g, o.res, o.shatter, o.report, float64(elapsed.Microseconds())/1000)
 			resp.JobID = j.id
 			resp.Backend = o.backend
+			if o.sharded != nil {
+				resp.Shards = o.sharded.K
+				resp.CutEdges = o.sharded.Traffic.CutEdges
+				resp.BoundaryUpdates = o.sharded.Traffic.BoundaryUpdates
+				s.met.shardRun(o.sharded.Traffic.CutEdges, o.sharded.Traffic.BoundaryUpdates, o.sharded.Traffic.StepCalls)
+			}
 			if !j.req.NoCache {
 				s.cache.add(j.key, resp)
 			}
@@ -555,11 +584,17 @@ func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 		res     *deltacoloring.Result
 		shatter *deltacoloring.RandStats
 		report  *deltacoloring.CheckReport
+		sharded *shard.Result
 		name    string
+		slack   int // extra palette room over Δ the producing pipeline declares
 		err     error
 	)
-	if j.req.Backend != "" {
-		res, shatter, report, name, err = s.runBackend(j)
+	if j.req.Shards > 0 {
+		name = "greedy"
+		slack = 1
+		res, report, sharded, err = s.runSharded(j)
+	} else if j.req.Backend != "" {
+		res, shatter, report, name, slack, err = s.runBackend(j)
 	} else if j.req.Algo == "rand" {
 		// No explicit backend: the historical entry points, bit-compatible
 		// with every pre-registry release.
@@ -592,9 +627,60 @@ func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 		}
 	}
 	if err == nil {
-		err = deltacoloring.Verify(j.g, res.Colors)
+		// Every pipeline is re-verified against its own declared palette: the
+		// paper pipelines at Δ, the greedy wire algorithm (sharded runs, the
+		// greedy backend) at Δ + its PaletteSlack of 1.
+		err = deltacoloring.VerifyWithin(j.g, res.Colors, j.g.MaxDegree()+slack)
 	}
-	out <- runOutcome{res: res, shatter: shatter, report: report, backend: name, err: err}
+	out <- runOutcome{res: res, shatter: shatter, report: report, sharded: sharded, backend: name, err: err}
+}
+
+// runSharded executes one ?shards= attempt: the greedy wire algorithm
+// partitioned across j.req.Shards workers with cross-cut LOCAL rounds. The
+// transport is in-process unless the server was configured with worker
+// addresses (or the test seam). Checked runs attach the conformance harness
+// to the coordinator's network and cross-check the merged coloring against
+// the sequential oracle at the wire algorithm's Δ+1 palette.
+func (s *Server) runSharded(j *job) (*deltacoloring.Result, *deltacoloring.CheckReport, *shard.Result, error) {
+	session := "svc-" + j.id
+	var tr shard.Transport
+	switch {
+	case s.cfg.shardTransport != nil:
+		tr = s.cfg.shardTransport(session)
+	case len(s.cfg.ShardAddrs) > 0:
+		var err error
+		if tr, err = shard.NewHTTPTransport(s.cfg.ShardAddrs, session, nil); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	cfg := shard.Config{
+		K:         j.req.Shards,
+		Transport: tr,
+		SpanHook:  s.met.addSpan,
+		Session:   session,
+	}
+	var h *invariant.Harness
+	if j.req.Check {
+		h = invariant.NewHarness(j.g)
+		cfg.NetHook = h.Attach
+	}
+	sres, err := shard.Run(j.ctx, j.g, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res := &deltacoloring.Result{
+		Colors: sres.Colors,
+		Rounds: sres.Rounds,
+		Spans:  sres.Spans,
+	}
+	var report *deltacoloring.CheckReport
+	if h != nil {
+		if oerr := invariant.ReferenceComplete(j.g, res.Colors, j.g.MaxDegree()+1); oerr != nil {
+			return nil, nil, nil, fmt.Errorf("differential oracle rejected the merged coloring: %w", oerr)
+		}
+		report = &deltacoloring.CheckReport{Checks: h.Checks() + 1, Phases: append(h.Phases(), "oracle")}
+	}
+	return res, report, sres, nil
 }
 
 // runBackend executes one attempt through the backend registry: the request
@@ -602,7 +688,7 @@ func (s *Server) runAttempt(j *job, out chan<- runOutcome) {
 // by graph structure. Checked runs attach the conformance harness through
 // the backend's NetHook seam and cross-check the final coloring against the
 // sequential oracle, exactly like the historical checked entry points.
-func (s *Server) runBackend(j *job) (*deltacoloring.Result, *deltacoloring.RandStats, *deltacoloring.CheckReport, string, error) {
+func (s *Server) runBackend(j *job) (*deltacoloring.Result, *deltacoloring.RandStats, *deltacoloring.CheckReport, string, int, error) {
 	p := backend.Params{
 		Det:  deltacoloring.ScaledParams(),
 		Rand: deltacoloring.ScaledRandomizedParams(),
@@ -619,9 +705,10 @@ func (s *Server) runBackend(j *job) (*deltacoloring.Result, *deltacoloring.RandS
 	} else {
 		var err error
 		if b, err = backend.Get(j.req.Backend); err != nil {
-			return nil, nil, nil, j.req.Backend, err
+			return nil, nil, nil, j.req.Backend, 0, err
 		}
 	}
+	slack := b.Caps().PaletteSlack
 	opts := &backend.RunOptions{SpanHook: s.met.addSpan}
 	var h *invariant.Harness
 	if j.req.Check {
@@ -630,7 +717,7 @@ func (s *Server) runBackend(j *job) (*deltacoloring.Result, *deltacoloring.RandS
 	}
 	bres, err := b.Color(j.ctx, j.g, p, opts)
 	if err != nil {
-		return nil, nil, nil, b.Name(), err
+		return nil, nil, nil, b.Name(), slack, err
 	}
 	res := &deltacoloring.Result{
 		Colors:   bres.Colors,
@@ -641,12 +728,14 @@ func (s *Server) runBackend(j *job) (*deltacoloring.Result, *deltacoloring.RandS
 	}
 	var report *deltacoloring.CheckReport
 	if h != nil {
-		if oerr := invariant.ReferenceComplete(j.g, res.Colors, j.g.MaxDegree()); oerr != nil {
-			return nil, nil, nil, b.Name(), fmt.Errorf("differential oracle rejected the final coloring: %w", oerr)
+		// The oracle bound honors the backend's declared palette slack, like
+		// the final re-verification in runAttempt.
+		if oerr := invariant.ReferenceComplete(j.g, res.Colors, j.g.MaxDegree()+slack); oerr != nil {
+			return nil, nil, nil, b.Name(), slack, fmt.Errorf("differential oracle rejected the final coloring: %w", oerr)
 		}
 		report = &deltacoloring.CheckReport{Checks: h.Checks() + 1, Phases: append(h.Phases(), "oracle")}
 	}
-	return res, bres.Rand, report, b.Name(), nil
+	return res, bres.Rand, report, b.Name(), slack, nil
 }
 
 // retryableFailure reports whether an attempt's failure is worth re-running:
@@ -753,6 +842,26 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		req.Backend = qb
+	}
+	// ?shards= is the query-param spelling of the request's shards field
+	// (it wins over the body when both are present).
+	if qs := r.URL.Query().Get("shards"); qs != "" {
+		n, err := strconv.Atoi(qs)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "shards=%q must be a non-negative integer", qs)
+			return
+		}
+		req.Shards = n
+	}
+	if req.Shards > s.cfg.MaxShards {
+		writeError(w, http.StatusBadRequest, "shards=%d above the server's %d-shard limit", req.Shards, s.cfg.MaxShards)
+		return
+	}
+	// Re-check the shard combination: the query params above can introduce a
+	// backend or shard count the body alone did not have.
+	if err := validateShardCombo(req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	g, err := buildGraph(req, s.cfg.MaxVertices, s.cfg.GraphDir)
 	if err != nil {
@@ -863,6 +972,27 @@ func (s *Server) handleColor(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleShardRounds serves the worker half of the sharded protocol: a
+// coordinator (possibly this same process in a cluster of peers) posts one
+// init/step/finish/abort operation per shard per round. Protocol failures
+// travel inside a 200 response so the coordinator can reconstruct the named
+// violation type; only an undecodable body is an HTTP error.
+func (s *Server) handleShardRounds(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	req, err := decodeStrict[shard.RoundsRequest](r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Op == "init" && req.ParentN > s.cfg.MaxVertices {
+		writeJSON(w, http.StatusOK, &shard.RoundsResponse{
+			Error: fmt.Sprintf("shard parent graph has n=%d, above the %d-vertex limit", req.ParentN, s.cfg.MaxVertices),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.shardHost.Handle(req))
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.jmu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
@@ -909,14 +1039,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	bState, bOpens := s.breaker.snapshot()
 	writeJSON(w, status, map[string]any{
-		"status":        state,
-		"queue_depth":   len(s.queue),
-		"workers":       s.cfg.Workers,
-		"breaker":       breakerStateName(bState),
-		"breaker_opens": bOpens,
-		"quarantined":   s.quarantinedCount(),
-		"graphs":        s.graphCount(),
-		"recovering":    s.recovering.Load(),
+		"status":         state,
+		"queue_depth":    len(s.queue),
+		"workers":        s.cfg.Workers,
+		"breaker":        breakerStateName(bState),
+		"breaker_opens":  bOpens,
+		"quarantined":    s.quarantinedCount(),
+		"graphs":         s.graphCount(),
+		"recovering":     s.recovering.Load(),
+		"shard_sessions": s.shardHost.Sessions(),
 	})
 }
 

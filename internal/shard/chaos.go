@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Chaos fault modes.
+const (
+	// ChaosCrash fails one Step call outright, as a crashed worker would.
+	ChaosCrash = "crash"
+	// ChaosHang blocks one Step until the coordinator's per-call deadline
+	// fires, as a wedged worker would.
+	ChaosHang = "hang"
+	// ChaosCorruptExchange rewrites one boundary update to an impossible
+	// color before the receiving worker sees it; the exchange contract must
+	// surface it as *ExchangeViolation.
+	ChaosCorruptExchange = "corrupt-exchange"
+	// ChaosCorruptFinish rewrites one final color to an impossible value;
+	// the merge contract must surface it as *MergeViolation.
+	ChaosCorruptFinish = "corrupt-finish"
+)
+
+// corruptColor is far outside any legal palette [0, Δ], so every corruption
+// is detectable by range checks alone.
+const corruptColor = int32(1) << 20
+
+// ChaosPlan is a seeded schedule of transport faults.
+type ChaosPlan struct {
+	// Mode is one of the Chaos* constants.
+	Mode string
+	// Seed drives the splitmix64 stream picking the victim call.
+	Seed uint64
+	// Prob is the per-opportunity firing probability in [0,1]
+	// (default 0.2). The plan fires at most once.
+	Prob float64
+}
+
+// ChaosTransport wraps an inner transport and injects exactly one seeded
+// fault per run, deterministically for a given (plan, call sequence). It is
+// the shard analogue of the engine's fault hooks: faults live at the
+// transport layer, where a real cluster breaks.
+type ChaosTransport struct {
+	inner Transport
+	plan  ChaosPlan
+
+	mu    sync.Mutex
+	rng   uint64
+	fired bool
+	calls int
+}
+
+// NewChaosTransport wraps inner with the plan's fault schedule.
+func NewChaosTransport(inner Transport, plan ChaosPlan) *ChaosTransport {
+	if plan.Prob <= 0 || plan.Prob > 1 {
+		plan.Prob = 0.2
+	}
+	return &ChaosTransport{inner: inner, plan: plan, rng: plan.Seed}
+}
+
+// Fired reports whether the fault has been injected yet.
+func (t *ChaosTransport) Fired() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fired
+}
+
+// Calls reports the transport calls observed (for test diagnostics).
+func (t *ChaosTransport) Calls() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.calls
+}
+
+// splitmix64 advances the deterministic stream; t.mu must be held.
+func (t *ChaosTransport) splitmix64() uint64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d49bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll decides whether the fault fires on this opportunity; at most one
+// fault fires per transport lifetime.
+func (t *ChaosTransport) roll(mode string) bool {
+	if t.plan.Mode != mode {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls++
+	if t.fired {
+		return false
+	}
+	// Map the top 53 bits to [0,1).
+	u := float64(t.splitmix64()>>11) / float64(1<<53)
+	if u >= t.plan.Prob {
+		return false
+	}
+	t.fired = true
+	return true
+}
+
+// Init passes through untouched: faults target the round loop and merge.
+func (t *ChaosTransport) Init(ctx context.Context, shard int, part *Part, delta, parentN int) error {
+	return t.inner.Init(ctx, shard, part, delta, parentN)
+}
+
+// Step injects crash, hang, or exchange-corruption faults. Corruption only
+// rolls when the call actually carries updates, so the single shot is never
+// wasted on a quiet exchange.
+func (t *ChaosTransport) Step(ctx context.Context, shard int, updates []Update) (*StepResult, error) {
+	if t.roll(ChaosCrash) {
+		return nil, fmt.Errorf("chaos: shard %d worker crashed", shard)
+	}
+	if t.roll(ChaosHang) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if len(updates) > 0 && t.roll(ChaosCorruptExchange) {
+		t.mu.Lock()
+		victim := int(t.splitmix64() % uint64(len(updates)))
+		t.mu.Unlock()
+		mangled := make([]Update, len(updates))
+		copy(mangled, updates)
+		mangled[victim].C = corruptColor
+		return t.inner.Step(ctx, shard, mangled)
+	}
+	return t.inner.Step(ctx, shard, updates)
+}
+
+// Finish injects finish-corruption faults.
+func (t *ChaosTransport) Finish(ctx context.Context, shard int) ([]Update, error) {
+	finals, err := t.inner.Finish(ctx, shard)
+	if err != nil {
+		return nil, err
+	}
+	if len(finals) > 0 && t.roll(ChaosCorruptFinish) {
+		t.mu.Lock()
+		victim := int(t.splitmix64() % uint64(len(finals)))
+		t.mu.Unlock()
+		mangled := make([]Update, len(finals))
+		copy(mangled, finals)
+		mangled[victim].C = corruptColor
+		return mangled, nil
+	}
+	return finals, nil
+}
+
+// Abort passes through.
+func (t *ChaosTransport) Abort(shard int) { t.inner.Abort(shard) }

@@ -1,0 +1,342 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"deltacoloring/internal/coloring"
+	"deltacoloring/internal/core"
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// Transport moves the protocol between the coordinator and one shard's
+// worker. Implementations: InProcess (direct calls), HTTPTransport (the
+// service's /v1/shard/rounds endpoint), and ChaosTransport (seeded fault
+// injection around either). Step and Finish honor ctx's deadline; a
+// transport error fails the whole run — the coordinator never merges a
+// partial coloring.
+type Transport interface {
+	Init(ctx context.Context, shard int, part *Part, delta, parentN int) error
+	Step(ctx context.Context, shard int, updates []Update) (*StepResult, error)
+	Finish(ctx context.Context, shard int) ([]Update, error)
+	Abort(shard int)
+}
+
+// Config tunes one sharded run.
+type Config struct {
+	// K is the shard count (default 1; clamped to the vertex count).
+	K int
+	// Transport carries the protocol (default: a fresh InProcess).
+	Transport Transport
+	// NetHook observes the coordinator's fully configured network before
+	// the run starts — the seam for the conformance harness.
+	NetHook func(*local.Network)
+	// SpanHook receives each phase span as it closes.
+	SpanHook func(local.Span)
+	// CallTimeout bounds every transport call (default 30s): a hung worker
+	// fails the run cleanly instead of wedging the coordinator.
+	CallTimeout time.Duration
+	// Session names the run for remote worker hosts (default "local").
+	Session string
+}
+
+// Traffic counts what actually crossed the cut.
+type Traffic struct {
+	// CutEdges is the number of parent edges cut by the partition.
+	CutEdges int `json:"cut_edges"`
+	// Ghosts is the total ghost copies across shards.
+	Ghosts int `json:"ghosts"`
+	// BoundaryUpdates is the total boundary-state messages routed through
+	// the coordinator over the whole run.
+	BoundaryUpdates int `json:"boundary_updates"`
+	// StepCalls is the total worker Step calls; quiet shards (nothing
+	// active, nothing incoming) are skipped, so this undercounts K×rounds
+	// exactly when the frontier idea saves wire traffic.
+	StepCalls int `json:"step_calls"`
+}
+
+// Result is the outcome of one sharded run.
+type Result struct {
+	Colors    []int
+	NumColors int
+	// Rounds is the number of cross-cut LOCAL rounds executed — equal, by
+	// the bit-identity contract, to the single-process engine's rounds.
+	Rounds  int
+	K       int
+	Traffic Traffic
+	Spans   []local.Span
+}
+
+// Run executes the wire algorithm on g across cfg.K shards: partition,
+// fan-out, synchronous cross-cut rounds exchanging only changed boundary
+// states, then merge and re-verify. The result is bit-identical to
+// SolveSingle on the same graph at any shard count.
+func Run(ctx context.Context, g *graph.Graph, cfg Config) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	k := cfg.K
+	if k < 1 {
+		k = 1
+	}
+	timeout := cfg.CallTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	net := local.New(g)
+	defer net.Close()
+	if ctx.Done() != nil {
+		net.SetInterrupt(func() error { return ctx.Err() })
+	}
+	if cfg.SpanHook != nil {
+		net.SetSpanHook(cfg.SpanHook)
+	}
+	if cfg.NetHook != nil {
+		cfg.NetHook(net)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ip, ok := r.(local.Interrupt)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, ip.Err
+		}
+	}()
+
+	endPart := net.Phase("shard/partition")
+	p, err := BuildPartition(g, k)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Checkpoint("shard/partition", p); err != nil {
+		return nil, err
+	}
+	endPart()
+	k = p.K
+
+	tr := cfg.Transport
+	if tr == nil {
+		tr = NewInProcess()
+	}
+	call := func(fn func(context.Context) error) error {
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		return fn(cctx)
+	}
+	abortAll := func() {
+		for s := 0; s < k; s++ {
+			tr.Abort(s)
+		}
+	}
+	for s := 0; s < k; s++ {
+		part := &p.Parts[s]
+		if err := call(func(c context.Context) error {
+			return tr.Init(c, s, part, g.MaxDegree(), g.N())
+		}); err != nil {
+			abortAll()
+			return nil, fmt.Errorf("shard %d init: %w", s, err)
+		}
+	}
+
+	// ghostAt routes a boundary vertex to every shard holding its ghost.
+	ghostAt := make(map[int32][]int32)
+	for s := 0; s < k; s++ {
+		part := &p.Parts[s]
+		for _, i := range part.Ghosts {
+			pv := int32(part.Sub.ToParent[i])
+			ghostAt[pv] = append(ghostAt[pv], int32(s))
+		}
+	}
+
+	endSolve := net.Phase("shard/solve")
+	var traffic Traffic
+	traffic.CutEdges = p.CutEdges
+	traffic.Ghosts = p.Ghosts()
+	pending := make([][]Update, k)
+	next := make([][]Update, k)
+	notDone := make([]int, k)
+	total := 0
+	for s := 0; s < k; s++ {
+		notDone[s] = len(p.Parts[s].Locals)
+		total += notDone[s]
+	}
+	maxRounds := g.N() + 2
+	rounds := 0
+	steps := make([]*StepResult, k)
+	errs := make([]error, k)
+	for total > 0 {
+		if rounds >= maxRounds {
+			abortAll()
+			return nil, fmt.Errorf("shard: %d vertices uncolored after %d rounds", total, rounds)
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < k; s++ {
+			steps[s], errs[s] = nil, nil
+			if notDone[s] == 0 && len(pending[s]) == 0 {
+				continue // quiet shard: no active locals, no incoming states
+			}
+			traffic.StepCalls++
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				errs[s] = call(func(c context.Context) error {
+					var serr error
+					steps[s], serr = tr.Step(c, s, pending[s])
+					return serr
+				})
+			}(s)
+		}
+		wg.Wait()
+		net.Charge(1) // one synchronous LOCAL round across the whole cut
+		rounds++
+		for s := 0; s < k; s++ {
+			if errs[s] != nil {
+				abortAll()
+				return nil, fmt.Errorf("shard %d round %d: %w", s, rounds, errs[s])
+			}
+		}
+		for s := 0; s < k; s++ {
+			next[s] = next[s][:0]
+		}
+		for s := 0; s < k; s++ {
+			if steps[s] == nil {
+				continue
+			}
+			notDone[s] = steps[s].NotDone
+			for _, u := range steps[s].Changed {
+				for _, t := range ghostAt[u.V] {
+					next[t] = append(next[t], u)
+					traffic.BoundaryUpdates++
+				}
+			}
+		}
+		pending, next = next, pending
+		total = 0
+		for s := 0; s < k; s++ {
+			total += notDone[s]
+		}
+	}
+	endSolve()
+
+	endMerge := net.Phase("shard/merge")
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = coloring.None
+	}
+	for s := 0; s < k; s++ {
+		var finals []Update
+		if err := call(func(c context.Context) error {
+			var ferr error
+			finals, ferr = tr.Finish(c, s)
+			return ferr
+		}); err != nil {
+			abortAll()
+			return nil, fmt.Errorf("shard %d finish: %w", s, err)
+		}
+		for _, u := range finals {
+			if u.V < 0 || int(u.V) >= g.N() {
+				abortAll()
+				return nil, &MergeViolation{Vertex: int(u.V), Reason: "vertex outside the parent graph"}
+			}
+			if p.Owner[u.V] != int32(s) {
+				abortAll()
+				return nil, &MergeViolation{Vertex: int(u.V),
+					Reason: fmt.Sprintf("reported by shard %d, owned by shard %d", s, p.Owner[u.V])}
+			}
+			if colors[u.V] != coloring.None {
+				abortAll()
+				return nil, &MergeViolation{Vertex: int(u.V), Reason: "color reported twice"}
+			}
+			colors[u.V] = int(u.C)
+		}
+	}
+	for v, c := range colors {
+		if c == coloring.None && g.N() > 0 {
+			return nil, &MergeViolation{Vertex: v, Reason: "no shard reported a color"}
+		}
+	}
+	if err := verifyMerged(g, colors); err != nil {
+		return nil, err
+	}
+	if err := net.Checkpoint("final", &core.CkptColoring{
+		C: &coloring.Partial{Colors: colors}, NumColors: g.MaxDegree() + 1, Complete: true,
+	}); err != nil {
+		return nil, err
+	}
+	endMerge()
+	return &Result{
+		Colors:    colors,
+		NumColors: g.MaxDegree() + 1,
+		Rounds:    rounds,
+		K:         k,
+		Traffic:   traffic,
+		Spans:     net.Spans(),
+	}, nil
+}
+
+// InProcess runs every worker inside the coordinator's process: the
+// zero-serialization transport behind in-memory ?shards= requests and the
+// conformance suites. Methods are safe for the coordinator's concurrent
+// per-shard fan-out (each shard's worker is only ever called sequentially).
+type InProcess struct {
+	mu      sync.Mutex
+	workers map[int]*Worker
+}
+
+// NewInProcess returns an empty in-process transport.
+func NewInProcess() *InProcess {
+	return &InProcess{workers: make(map[int]*Worker)}
+}
+
+func (t *InProcess) get(shard int) (*Worker, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.workers[shard]
+	if !ok {
+		return nil, fmt.Errorf("shard %d not initialized", shard)
+	}
+	return w, nil
+}
+
+// Init builds the shard's worker directly over the partition's Part.
+func (t *InProcess) Init(_ context.Context, shard int, part *Part, delta, _ int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w, dup := t.workers[shard]; dup {
+		w.Close()
+	}
+	t.workers[shard] = NewWorker(part, delta)
+	return nil
+}
+
+// Step runs one worker round.
+func (t *InProcess) Step(_ context.Context, shard int, updates []Update) (*StepResult, error) {
+	w, err := t.get(shard)
+	if err != nil {
+		return nil, err
+	}
+	return w.Step(shard, updates)
+}
+
+// Finish collects the worker's final local colors.
+func (t *InProcess) Finish(_ context.Context, shard int) ([]Update, error) {
+	w, err := t.get(shard)
+	if err != nil {
+		return nil, err
+	}
+	return w.Finish()
+}
+
+// Abort drops the worker.
+func (t *InProcess) Abort(shard int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if w, ok := t.workers[shard]; ok {
+		w.Close()
+		delete(t.workers, shard)
+	}
+}

@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// FuzzPartition throws arbitrary edge lists and shard counts at the
+// partitioner and pins the structural contract on every one: each vertex in
+// exactly one shard, every cut edge ghosted on both sides, and the shards'
+// edges reassembling into a byte-identical CSR. On small instances it also
+// replays the full sharded run against the single-process oracle, fuzzing
+// the bit-identity contract itself.
+func FuzzPartition(f *testing.F) {
+	f.Add(uint8(6), uint8(2), []byte{0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 0})
+	f.Add(uint8(9), uint8(3), []byte{0, 1, 0, 2, 1, 2, 3, 4, 6, 7, 7, 8})
+	f.Add(uint8(1), uint8(4), []byte{})
+	f.Add(uint8(12), uint8(5), []byte{0, 11, 1, 10, 2, 9, 3, 8, 4, 7, 5, 6, 0, 6, 3, 9})
+	f.Fuzz(func(t *testing.T, n, k uint8, raw []byte) {
+		if n == 0 {
+			return
+		}
+		if k == 0 {
+			k = 1 // BuildPartition rejects k < 1 by contract; Run clamps the same way
+		}
+		b := graph.NewBuilder(int(n))
+		for i := 0; i+1 < len(raw); i += 2 {
+			u, v := int(raw[i])%int(n), int(raw[i+1])%int(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g, err := b.Build()
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		p, err := BuildPartition(g, int(k))
+		if err != nil {
+			t.Fatalf("BuildPartition(n=%d, k=%d): %v", n, k, err)
+		}
+		if err := VerifyPartition(g, p); err != nil {
+			t.Fatalf("VerifyPartition: %v", err)
+		}
+		if err := Reassemble(g, p); err != nil {
+			t.Fatalf("Reassemble: %v", err)
+		}
+
+		net := local.New(g)
+		wantColors, wantRounds, err := SolveSingle(net)
+		net.Close()
+		if err != nil {
+			t.Fatalf("SolveSingle: %v", err)
+		}
+		res, err := Run(context.Background(), g, Config{K: int(k)})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !reflect.DeepEqual(res.Colors, wantColors) || res.Rounds != wantRounds {
+			t.Fatalf("sharded run diverges: rounds %d vs %d, colors %v vs %v",
+				res.Rounds, wantRounds, res.Colors, wantColors)
+		}
+	})
+}

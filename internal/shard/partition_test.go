@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"deltacoloring/internal/graph"
+)
+
+// testGraphs is the shared workload set for the shard package: sparse,
+// dense, disconnected, degenerate, and the paper's own families.
+func testGraphs(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	ring, _ := graph.EasyCliqueRing(6, 12)
+	hard, _ := graph.HardCliqueBipartite(12, 12)
+	return map[string]*graph.Graph{
+		"path":           graph.Path(40),
+		"cycle":          graph.Cycle(33),
+		"complete":       graph.Complete(12),
+		"star":           graph.Star(25),
+		"grid":           graph.Grid(7, 6),
+		"torus":          graph.Torus(5, 5),
+		"tree":           graph.RandomTree(60, rand.New(rand.NewSource(5))),
+		"regular":        graph.RandomRegular(48, 5, rand.New(rand.NewSource(6))),
+		"gnp":            graph.ErdosRenyi(50, 0.12, rand.New(rand.NewSource(7))),
+		"cliques":        graph.DisjointCliques(4, 6),
+		"clique-ring":    ring,
+		"hard-bipartite": hard,
+		"singleton":      graph.Path(1),
+		"two-isolated":   graph.Path(2),
+	}
+}
+
+var testShardCounts = []int{1, 2, 3, 4, 7}
+
+func TestBuildPartitionInvariants(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, k := range testShardCounts {
+			t.Run(fmt.Sprintf("%s/k=%d", name, k), func(t *testing.T) {
+				p, err := BuildPartition(g, k)
+				if err != nil {
+					t.Fatalf("BuildPartition: %v", err)
+				}
+				if p.K < 1 || p.K > k || p.K > g.N() {
+					t.Fatalf("K = %d outside [1, min(%d, %d)]", p.K, k, g.N())
+				}
+				if err := VerifyPartition(g, p); err != nil {
+					t.Fatalf("VerifyPartition: %v", err)
+				}
+				if err := Reassemble(g, p); err != nil {
+					t.Fatalf("Reassemble: %v", err)
+				}
+				locals := 0
+				for s := range p.Parts {
+					locals += len(p.Parts[s].Locals)
+				}
+				if locals != g.N() {
+					t.Fatalf("parts own %d vertices, graph has %d", locals, g.N())
+				}
+				if k == 1 && (p.CutEdges != 0 || p.Ghosts() != 0) {
+					t.Fatalf("k=1 partition has %d cut edges, %d ghosts", p.CutEdges, p.Ghosts())
+				}
+			})
+		}
+	}
+}
+
+func TestBuildPartitionBalance(t *testing.T) {
+	g := graph.RandomRegular(120, 6, rand.New(rand.NewSource(9)))
+	p, err := BuildPartition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1+deg weights with a ceil cap: no shard may exceed twice the even share.
+	for s := range p.Parts {
+		if got := len(p.Parts[s].Locals); got > g.N()/2 {
+			t.Fatalf("shard %d owns %d of %d vertices — partition is degenerate", s, got, g.N())
+		}
+		if len(p.Parts[s].Locals) == 0 {
+			t.Fatalf("shard %d owns no vertices", s)
+		}
+	}
+}
+
+func TestVerifyPartitionCatchesCorruption(t *testing.T) {
+	g := graph.Grid(6, 6)
+	corruptions := map[string]func(p *Partition){
+		"owner-flip":     func(p *Partition) { p.Owner[0] = (p.Owner[0] + 1) % int32(p.K) },
+		"cut-miscount":   func(p *Partition) { p.CutEdges++ },
+		"local-dropped":  func(p *Partition) { p.Parts[0].Locals = p.Parts[0].Locals[:len(p.Parts[0].Locals)-1] },
+		"ghost-promoted": func(p *Partition) { p.Parts[0].IsLocal[p.Parts[0].Ghosts[0]] = true },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			p, err := BuildPartition(g, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corrupt(p)
+			err = VerifyPartition(g, p)
+			if err == nil {
+				t.Fatal("VerifyPartition accepted a corrupted partition")
+			}
+			if _, ok := err.(*PartitionViolation); !ok {
+				t.Fatalf("got %T (%v), want *PartitionViolation", err, err)
+			}
+		})
+	}
+}
+
+func TestNewPartFromWireRejectsBadMappings(t *testing.T) {
+	g := graph.Grid(5, 5)
+	p, err := BuildPartition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &p.Parts[1]
+	toParent := make([]int32, len(src.Sub.ToParent))
+	for i, pv := range src.Sub.ToParent {
+		toParent[i] = int32(pv)
+	}
+	if _, err := NewPartFromWire(src.Sub.G, toParent, src.Locals, g.N()); err != nil {
+		t.Fatalf("valid wire part rejected: %v", err)
+	}
+	bad := make([]int32, len(toParent))
+	copy(bad, toParent)
+	bad[0] = int32(g.N()) // out of the parent's range
+	if _, err := NewPartFromWire(src.Sub.G, bad, src.Locals, g.N()); err == nil {
+		t.Fatal("out-of-range parent vertex accepted")
+	}
+	if _, err := NewPartFromWire(src.Sub.G, toParent[:len(toParent)-1], src.Locals, g.N()); err == nil {
+		t.Fatal("short ToParent accepted")
+	}
+	if _, err := NewPartFromWire(src.Sub.G, toParent, []int32{int32(src.Sub.G.N())}, g.N()); err == nil {
+		t.Fatal("out-of-range local index accepted")
+	}
+}
+
+func TestEqualCSRDetectsDrift(t *testing.T) {
+	a := graph.Grid(4, 4)
+	if err := graph.EqualCSR(a, graph.Grid(4, 4)); err != nil {
+		t.Fatalf("identical graphs differ: %v", err)
+	}
+	if err := graph.EqualCSR(a, graph.Grid(4, 5)); err == nil {
+		t.Fatal("different sizes compare equal")
+	}
+	b := graph.NewBuilder(16)
+	for v := 0; v < 16; v++ {
+		for _, w := range a.Neighbors(v) {
+			if v < int(w) {
+				b.AddEdge(v, int(w))
+			}
+		}
+	}
+	b.SetID(3, 999)
+	if err := graph.EqualCSR(a, b.MustBuild()); err == nil {
+		t.Fatal("different IDs compare equal")
+	}
+}

@@ -1,0 +1,190 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"deltacoloring/internal/graph"
+	"deltacoloring/internal/local"
+)
+
+// singleRun is the one-process oracle every sharded run must match.
+type singleRun struct {
+	colors []int
+	rounds int
+}
+
+func runSingle(t *testing.T, g *graph.Graph) singleRun {
+	t.Helper()
+	net := local.New(g)
+	defer net.Close()
+	colors, rounds, err := SolveSingle(net)
+	if err != nil {
+		t.Fatalf("SolveSingle: %v", err)
+	}
+	if err := verifyMerged(g, colors); err != nil {
+		t.Fatalf("SolveSingle produced an invalid coloring: %v", err)
+	}
+	return singleRun{colors: colors, rounds: rounds}
+}
+
+// TestShardedBitIdentity is the tentpole contract: at every shard count the
+// sharded run returns the same colors AND the same round count as the dense
+// single-process engine.
+func TestShardedBitIdentity(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		want := runSingle(t, g)
+		for _, k := range testShardCounts {
+			t.Run(fmt.Sprintf("%s/k=%d", name, k), func(t *testing.T) {
+				res, err := Run(context.Background(), g, Config{K: k})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if !reflect.DeepEqual(res.Colors, want.colors) {
+					t.Fatalf("colors diverge from the single-process run\n got %v\nwant %v", res.Colors, want.colors)
+				}
+				if res.Rounds != want.rounds {
+					t.Fatalf("rounds = %d, single-process engine used %d", res.Rounds, want.rounds)
+				}
+				if res.NumColors != g.MaxDegree()+1 {
+					t.Fatalf("NumColors = %d, want Δ+1 = %d", res.NumColors, g.MaxDegree()+1)
+				}
+				if res.Traffic.CutEdges > 0 && res.Traffic.BoundaryUpdates == 0 {
+					t.Fatal("cut edges exist but no boundary update ever crossed them")
+				}
+			})
+		}
+	}
+}
+
+// TestShardedBitIdentityUnderIDPermutation re-checks bit-identity when the
+// symmetry-breaking IDs no longer coincide with vertex indices — the case
+// that catches any index-based (rather than ID-based) tie-break.
+func TestShardedBitIdentityUnderIDPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, base := range []*graph.Graph{
+		graph.Grid(7, 6),
+		graph.RandomRegular(48, 5, rand.New(rand.NewSource(8))),
+		graph.Cycle(33),
+	} {
+		g := graph.PermuteIDs(base, rng)
+		want := runSingle(t, g)
+		for _, k := range []int{2, 4} {
+			res, err := Run(context.Background(), g, Config{K: k})
+			if err != nil {
+				t.Fatalf("Run k=%d: %v", k, err)
+			}
+			if !reflect.DeepEqual(res.Colors, want.colors) || res.Rounds != want.rounds {
+				t.Fatalf("permuted-ID run diverges at k=%d: rounds %d vs %d", k, res.Rounds, want.rounds)
+			}
+		}
+	}
+}
+
+// newTestCluster serves count independent worker Hosts over HTTP and returns
+// their base URLs.
+func newTestCluster(t *testing.T, count int) []string {
+	t.Helper()
+	addrs := make([]string, count)
+	for i := 0; i < count; i++ {
+		host := NewHost(0)
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			var req RoundsRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			_ = json.NewEncoder(w).Encode(host.Handle(&req))
+		}))
+		t.Cleanup(srv.Close)
+		addrs[i] = srv.URL
+	}
+	return addrs
+}
+
+// TestShardedBitIdentityOverHTTP runs the full wire protocol — subgraphs
+// shipped as binary CSR, rounds as JSON — against real HTTP worker processes
+// and demands the same bit-identity the in-process transport has.
+func TestShardedBitIdentityOverHTTP(t *testing.T) {
+	for _, tc := range []struct{ k, workers int }{
+		{1, 1}, {2, 2}, {4, 2}, {4, 4}, {3, 5},
+	} {
+		t.Run(fmt.Sprintf("k=%d/workers=%d", tc.k, tc.workers), func(t *testing.T) {
+			g := graph.PermuteIDs(graph.Grid(8, 5), rand.New(rand.NewSource(21)))
+			want := runSingle(t, g)
+			tr, err := NewHTTPTransport(newTestCluster(t, tc.workers), "bit-identity", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(context.Background(), g, Config{K: tc.k, Transport: tr})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !reflect.DeepEqual(res.Colors, want.colors) {
+				t.Fatal("HTTP cluster colors diverge from the single-process run")
+			}
+			if res.Rounds != want.rounds {
+				t.Fatalf("HTTP cluster rounds = %d, want %d", res.Rounds, want.rounds)
+			}
+		})
+	}
+}
+
+// TestHostSessionLifecycle pins the worker host's bookkeeping: sessions are
+// dropped on finish and abort, and unknown sessions are refused.
+func TestHostSessionLifecycle(t *testing.T) {
+	g := graph.Grid(5, 4)
+	p, err := BuildPartition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := NewHost(0)
+	initReq := func(s int) *RoundsRequest {
+		part := &p.Parts[s]
+		var req RoundsRequest
+		req.Op = "init"
+		req.Session = "t"
+		req.Shard = s
+		req.Graph, req.ToParent, req.Locals, req.ParentN, req.Delta = encodePartWire(t, part, g)
+		return &req
+	}
+	for s := 0; s < p.K; s++ {
+		if resp := host.Handle(initReq(s)); !resp.OK {
+			t.Fatalf("init shard %d: %s", s, resp.Error)
+		}
+	}
+	if host.Sessions() != p.K {
+		t.Fatalf("Sessions = %d, want %d", host.Sessions(), p.K)
+	}
+	if resp := host.Handle(&RoundsRequest{Op: "step", Session: "nope", Shard: 0}); resp.Error == "" {
+		t.Fatal("unknown session accepted")
+	}
+	if resp := host.Handle(&RoundsRequest{Op: "bogus"}); resp.Error == "" {
+		t.Fatal("unknown op accepted")
+	}
+	host.Handle(&RoundsRequest{Op: "abort", Session: "t", Shard: 0})
+	host.Handle(&RoundsRequest{Op: "abort", Session: "t", Shard: 1})
+	if host.Sessions() != 0 {
+		t.Fatalf("Sessions = %d after aborts, want 0", host.Sessions())
+	}
+}
+
+func encodePartWire(t *testing.T, part *Part, g *graph.Graph) (enc []byte, toParent, locals []int32, parentN, delta int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.EncodeBinary(&buf, part.Sub.G); err != nil {
+		t.Fatal(err)
+	}
+	toParent = make([]int32, len(part.Sub.ToParent))
+	for i, pv := range part.Sub.ToParent {
+		toParent[i] = int32(pv)
+	}
+	return buf.Bytes(), toParent, part.Locals, g.N(), g.MaxDegree()
+}

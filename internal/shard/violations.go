@@ -1,0 +1,60 @@
+package shard
+
+import "fmt"
+
+// PartitionViolation reports a structurally invalid partition: a vertex
+// owned by no shard (or two), a cut edge missing its ghost mirror, or a
+// shard subgraph that does not reassemble into the input CSR. It is the
+// named error surfaced by VerifyPartition and by the "shard/partition"
+// conformance checker.
+type PartitionViolation struct {
+	Err error
+}
+
+func (v *PartitionViolation) Error() string {
+	return fmt.Sprintf("shard: partition violation: %v", v.Err)
+}
+
+func (v *PartitionViolation) Unwrap() error { return v.Err }
+
+// ExchangeViolation reports a corrupted boundary exchange: an update that
+// addresses an unknown or non-ghost vertex, carries an out-of-range color,
+// or recolors an already-colored ghost. Workers validate every incoming
+// update against the LOCAL-round contract before applying it, so a damaged
+// message surfaces as this named error rather than a silent wrong coloring.
+type ExchangeViolation struct {
+	// Shard is the shard that rejected the update.
+	Shard int
+	// Vertex is the parent-graph vertex the update addressed (-1 when the
+	// violation was reconstructed from a wire response without one).
+	Vertex int
+	// Reason describes the broken contract.
+	Reason string
+}
+
+func (v *ExchangeViolation) Error() string {
+	if v.Vertex < 0 {
+		return fmt.Sprintf("shard: exchange violation (shard %d): %s", v.Shard, v.Reason)
+	}
+	return fmt.Sprintf("shard: exchange violation (shard %d, vertex %d): %s", v.Shard, v.Vertex, v.Reason)
+}
+
+// MergeViolation reports an invalid merged coloring: a vertex reported by
+// the wrong shard, reported twice, never reported, out of palette range, or
+// in conflict with a neighbor. The coordinator re-verifies the merged
+// coloring against the parent graph before returning it, so a worker that
+// lies about its final colors fails the job loudly.
+type MergeViolation struct {
+	// Vertex is the offending parent-graph vertex (-1 when the violation
+	// was reconstructed from a wire response without one).
+	Vertex int
+	// Reason describes the broken contract.
+	Reason string
+}
+
+func (v *MergeViolation) Error() string {
+	if v.Vertex < 0 {
+		return fmt.Sprintf("shard: merge violation: %s", v.Reason)
+	}
+	return fmt.Sprintf("shard: merge violation (vertex %d): %s", v.Vertex, v.Reason)
+}
